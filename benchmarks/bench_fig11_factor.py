@@ -1,0 +1,21 @@
+"""Figure 11: factor analysis and lesion study of the three optimizations."""
+
+from repro.experiments import fig11_factor
+
+
+def test_fig11_grid_and_print(benchmark):
+    cells = benchmark.pedantic(
+        fig11_factor.run,
+        kwargs={"resolutions": (2000,), "scale": 0.5, "time_budget": 0.75},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig11_factor.format_result(cells))
+    by_label = {c.config.label: c for c in cells}
+    # Factor analysis: every cumulative step helps.
+    assert by_label["+Pixel"].throughput > by_label["Baseline"].throughput
+    assert by_label["+Lazy"].throughput > by_label["+AC"].throughput
+    # Lesion: removing any optimization from full ASAP costs throughput.
+    assert by_label["ASAP"].throughput > by_label["no Lazy"].throughput
+    assert by_label["ASAP"].throughput > by_label["no AC"].throughput

@@ -1,0 +1,35 @@
+"""Figure 6: anomaly-identification study (simulated observers)."""
+
+from repro.experiments import fig6_user_study
+from repro.perception.observer import Observer
+from repro.perception.study import render_visualization
+from repro.timeseries import load
+
+
+def test_observer_identify_one_trial(benchmark):
+    dataset = load("taxi")
+    plot = render_visualization("ASAP", dataset.series.values)
+    observer = Observer(seed=0)
+    true_region = dataset.anomalies[0].region_index(len(dataset.series), 5)
+    trial = benchmark(
+        observer.identify,
+        plot.values,
+        true_region,
+        positions=plot.positions,
+        x_range=(0.0, float(len(dataset.series) - 1)),
+    )
+    assert trial.response_time > 0
+
+
+def test_fig6_grid_and_print(benchmark):
+    cells = benchmark.pedantic(
+        fig6_user_study.run, kwargs={"trials_per_cell": 12}, rounds=1, iterations=1
+    )
+    print()
+    print(fig6_user_study.format_result(cells))
+    summary = fig6_user_study.summarize(cells)
+    asap_accuracy, asap_rt = summary["ASAP"]
+    original_accuracy, original_rt = summary["Original"]
+    # The paper's headline: ASAP beats the raw plot on both axes.
+    assert asap_accuracy > original_accuracy
+    assert asap_rt < original_rt

@@ -1,0 +1,17 @@
+"""Figure 7: visual-preference study (simulated participants)."""
+
+from repro.experiments import fig7_preference
+
+
+def test_fig7_shares_and_print(benchmark):
+    shares = benchmark.pedantic(
+        fig7_preference.run, kwargs={"n_participants": 20}, rounds=1, iterations=1
+    )
+    print()
+    print(fig7_preference.format_result(shares))
+    datasets = list(shares)
+    asap_mean = sum(shares[d]["ASAP"] for d in datasets) / len(datasets)
+    # ASAP preferred well above the 25% random baseline (paper: 65%).
+    assert asap_mean > 0.4
+    # The Temp flip: oversmoothing wins on the 250-year trend (paper: 70/25).
+    assert shares["temp"]["Oversmooth"] >= shares["temp"]["ASAP"]

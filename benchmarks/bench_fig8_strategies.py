@@ -1,0 +1,36 @@
+"""Figure 8: search strategies over preaggregated data, varying resolution."""
+
+import pytest
+
+from repro.core.search import run_strategy
+from repro.experiments import fig8_strategies
+
+
+@pytest.mark.parametrize("strategy", ["exhaustive", "grid2", "grid10", "binary", "asap"])
+def test_strategy_search_time(benchmark, taxi_aggregated, strategy):
+    result = benchmark(run_strategy, strategy, taxi_aggregated)
+    assert result.window >= 1
+
+
+def test_fig8_sweep_and_print(benchmark):
+    cells = benchmark.pedantic(
+        fig8_strategies.run,
+        kwargs={
+            "resolutions": (1000, 2000, 3000),
+            "dataset_names": ("eeg", "power", "traffic_data", "machine_temp"),
+            "repeats": 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig8_strategies.format_result(cells))
+    asap_cells = [c for c in cells if c.strategy == "asap"]
+    binary_cells = [c for c in cells if c.strategy == "binary"]
+    # Paper shape: ASAP's quality tracks exhaustive; binary search is rougher.
+    assert max(c.roughness_ratio for c in asap_cells) < 2.0
+    assert max(c.roughness_ratio for c in binary_cells) > min(
+        c.roughness_ratio for c in asap_cells
+    )
+    # And ASAP is much faster than exhaustive at every resolution.
+    assert all(c.speedup > 2.0 for c in asap_cells)

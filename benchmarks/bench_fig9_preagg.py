@@ -1,0 +1,35 @@
+"""Figure 9: impact of pixel-aware preaggregation."""
+
+from repro.core.batch import smooth
+from repro.experiments import fig9_preagg
+
+
+def test_smooth_with_preaggregation(benchmark, machine_temp_values):
+    result = benchmark(smooth, machine_temp_values, resolution=1200)
+    assert result.preaggregation_ratio > 1
+
+
+def test_smooth_without_preaggregation(benchmark, machine_temp_values):
+    result = benchmark(
+        smooth, machine_temp_values, resolution=1200, use_preaggregation=False
+    )
+    assert result.preaggregation_ratio == 1
+
+
+def test_fig9_sweep_and_print(benchmark):
+    cells = benchmark.pedantic(
+        fig9_preagg.run,
+        kwargs={"resolutions": (1000, 2000, 3000)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig9_preagg.format_result(cells))
+    by_key = {(c.resolution, c.configuration): c for c in cells}
+    for resolution in (1000, 2000, 3000):
+        # Paper ordering: full ASAP >> Grid1 (preagg only) >> baseline.
+        assert (
+            by_key[(resolution, "ASAP")].speedup
+            > by_key[(resolution, "Grid1")].speedup
+            > 1.0
+        )

@@ -1,0 +1,25 @@
+"""Figure A.1: Equation 5 roughness-estimate accuracy, plus ACF timing."""
+
+from repro.core.acf import autocorrelation
+from repro.experiments import figa1_estimate
+from repro.timeseries import load
+
+
+def test_acf_fft_on_temp(benchmark):
+    values = load("temp").series.values
+    acf = benchmark(autocorrelation, values, 297)
+    assert abs(acf[0] - 1.0) < 1e-9
+
+
+def test_acf_native_fft_backend(benchmark):
+    values = load("temp").series.values
+    acf = benchmark(autocorrelation, values, 297, "native")
+    assert abs(acf[0] - 1.0) < 1e-9
+
+
+def test_figa1_points_and_print(benchmark):
+    points = benchmark.pedantic(figa1_estimate.run, rounds=1, iterations=1)
+    print()
+    print(figa1_estimate.format_result(points))
+    # Paper: estimate within 1.2% of truth across windows.
+    assert figa1_estimate.max_error_percent(points) < 3.0

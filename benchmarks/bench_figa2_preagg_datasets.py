@@ -1,0 +1,22 @@
+"""Figure A.2: per-dataset throughput with and without preaggregation."""
+
+from repro.experiments import fig9_preagg
+
+
+def test_figa2_rows_and_print(benchmark):
+    rows = benchmark.pedantic(
+        fig9_preagg.run_datasets,
+        kwargs={"resolution": 1200, "scale": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig9_preagg.format_datasets(rows))
+    for row in rows:
+        # Paper ordering: Exhaustive << ASAPRaw << Grid1 << ASAP.
+        assert (
+            row.throughput["Exhaustive"]
+            < row.throughput["ASAPRaw"]
+            < row.throughput["ASAP"]
+        )
+        assert row.throughput["Grid1"] > row.throughput["Exhaustive"]

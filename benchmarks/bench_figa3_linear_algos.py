@@ -1,0 +1,37 @@
+"""Figure A.3: ASAP's end-to-end runtime vs the O(n) reductions PAA and M4."""
+
+from repro.core.batch import smooth
+from repro.experiments import figa3_linear_algos
+from repro.vis.m4 import m4_aggregate
+from repro.vis.paa import paa
+
+
+def test_asap_end_to_end(benchmark, machine_temp_values):
+    result = benchmark(smooth, machine_temp_values, resolution=1200)
+    assert result.window >= 1
+
+
+def test_paa_pass(benchmark, machine_temp_values):
+    out = benchmark(paa, machine_temp_values, 1200)
+    assert out.size == 1200
+
+
+def test_m4_pass(benchmark, machine_temp_values):
+    indices, values = benchmark(m4_aggregate, machine_temp_values, 1200)
+    assert values.size <= 4800
+
+
+def test_figa3_rows_and_print(benchmark):
+    rows = benchmark.pedantic(
+        figa3_linear_algos.run,
+        kwargs={"scale": 0.25, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figa3_linear_algos.format_result(rows))
+    # ASAP costs more than a single linear pass but stays in the same
+    # regime (paper: within ~20x of PAA, tens of milliseconds).
+    mean_asap = sum(r.asap_ms for r in rows) / len(rows)
+    mean_paa = sum(r.paa_ms for r in rows) / len(rows)
+    assert mean_asap < 100 * max(mean_paa, 0.01)

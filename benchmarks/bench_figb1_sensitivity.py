@@ -1,0 +1,20 @@
+"""Figure B.1: sensitivity of study outcomes to roughness/kurtosis targets."""
+
+from repro.experiments import figb1_sensitivity
+
+
+def test_figb1_grid_and_print(benchmark):
+    cells = benchmark.pedantic(
+        figb1_sensitivity.run,
+        kwargs={"trials_per_cell": 12},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figb1_sensitivity.format_result(cells))
+    by_variant: dict[str, list[float]] = {}
+    for cell in cells:
+        by_variant.setdefault(cell.variant, []).append(cell.accuracy)
+    means = {v: sum(a) / len(a) for v, a in by_variant.items()}
+    # Paper: much rougher plots (8x) hurt accuracy relative to ASAP.
+    assert means["ASAP"] > means["8x"]

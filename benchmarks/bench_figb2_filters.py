@@ -1,0 +1,28 @@
+"""Figure B.2: alternative smoothing functions under ASAP's criterion."""
+
+import pytest
+
+from repro.core.preaggregation import preaggregate
+from repro.experiments import figb2_filters
+from repro.spectral.filters import filter_registry
+from repro.timeseries import load
+
+
+@pytest.mark.parametrize("name", ["FFT-low", "FFT-dominant", "SG1", "SG4", "minmax"])
+def test_filter_single_application(benchmark, name):
+    values = preaggregate(load("power").series.values, 800).values
+    smoother = filter_registry()[name]
+    param = list(smoother.candidates(values.size))[10]
+    out = benchmark(smoother.apply, values, param)
+    assert out.size > 0
+
+
+def test_figb2_rows_and_print(benchmark):
+    cells = benchmark.pedantic(figb2_filters.run, rounds=1, iterations=1)
+    print()
+    print(figb2_filters.format_result(cells))
+    by_key = {(c.dataset, c.filter_name): c for c in cells}
+    for dataset in ("temp", "taxi", "eeg", "sine", "power"):
+        # Paper shape: minmax and FFT-dominant are far rougher than SMA.
+        assert by_key[(dataset, "minmax")].ratio_vs_sma > 1.0
+        assert by_key[(dataset, "FFT-dominant")].ratio_vs_sma > 1.0

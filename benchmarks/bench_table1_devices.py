@@ -1,0 +1,18 @@
+"""Table 1: device-driven search-space reduction (exact arithmetic)."""
+
+from repro.core.preaggregation import preaggregate
+from repro.experiments import table1_devices
+
+
+def test_table1_rows_and_print(benchmark):
+    rows = benchmark(table1_devices.run)
+    print()
+    print(table1_devices.format_result(rows))
+    measured = {row.device.name: row.reduction for row in rows}
+    assert measured["38mm Apple Watch"] == 3676
+
+
+def test_preaggregation_of_1m_points(benchmark, periodic_1m):
+    """The operation Table 1's reduction pays for: bucketing 1M points."""
+    result = benchmark(preaggregate, periodic_1m, 2304)
+    assert result.ratio == 434

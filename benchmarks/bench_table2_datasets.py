@@ -1,0 +1,23 @@
+"""Table 2: per-dataset window selection, ASAP vs exhaustive search."""
+
+from repro.core.search import asap_search, exhaustive_search
+from repro.experiments import table2_datasets
+
+
+def test_asap_search_taxi(benchmark, taxi_aggregated):
+    result = benchmark(asap_search, taxi_aggregated)
+    assert result.window == 112  # matches the paper's Table 2 exactly
+
+
+def test_exhaustive_search_taxi(benchmark, taxi_aggregated):
+    result = benchmark(exhaustive_search, taxi_aggregated)
+    assert result.window == 112
+
+
+def test_table2_rows_and_print(benchmark):
+    rows = benchmark.pedantic(
+        table2_datasets.run, kwargs={"scale": 0.3}, rounds=1, iterations=1
+    )
+    print()
+    print(table2_datasets.format_result(rows))
+    assert len(rows) == 11

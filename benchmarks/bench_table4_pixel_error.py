@@ -1,0 +1,20 @@
+"""Table 4: pixel error of ASAP vs pixel-preserving reductions."""
+
+from repro.experiments import table4_pixel_error
+from repro.timeseries import load
+from repro.vis.pixel_error import pixel_error
+
+
+def test_pixel_error_measurement(benchmark):
+    values = load("taxi").series.values
+    error = benchmark(pixel_error, values, values)
+    assert error == 0.0
+
+
+def test_table4_rows_and_print(benchmark):
+    rows = benchmark.pedantic(table4_pixel_error.run, rounds=1, iterations=1)
+    print()
+    print(table4_pixel_error.format_result(rows))
+    for row in rows:
+        # The paper's contrast in goals: M4 preserves pixels, ASAP distorts.
+        assert row.errors["M4"] <= row.errors["ASAP"]

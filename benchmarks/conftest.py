@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's exhibits: it times
+the load-bearing operation with pytest-benchmark and prints the same
+rows/series the paper reports (run ``pytest benchmarks/ --benchmark-only -s``
+to see the tables inline).
+
+Exhibit tables run at moderate scale so the whole harness finishes in
+minutes; ``python -m repro.experiments <exhibit>`` regenerates any exhibit at
+full paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preaggregation import preaggregate
+from repro.timeseries import load
+
+collect_ignore_glob: list[str] = []
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks have no assertions to shuffle; keep paper order by filename.
+    items.sort(key=lambda item: item.fspath.basename)
+
+
+@pytest.fixture(scope="session")
+def taxi_values():
+    return load("taxi").series.values
+
+
+@pytest.fixture(scope="session")
+def taxi_aggregated(taxi_values):
+    return preaggregate(taxi_values, 1200).values
+
+
+@pytest.fixture(scope="session")
+def machine_temp_values():
+    return load("machine_temp").series.values
+
+
+@pytest.fixture(scope="session")
+def periodic_1m():
+    """A synthetic 1M-point periodic stream for scale checks."""
+    t = np.arange(1_000_000, dtype=np.float64)
+    rng = np.random.default_rng(0)
+    return np.sin(2 * np.pi * t / 86_400) + 0.3 * rng.normal(size=t.size)

@@ -1,0 +1,51 @@
+"""Compare visualization techniques on the anomaly-finding task.
+
+Renders the taxi trace with every technique from the paper's user study
+(Section 5.1) and scores each two ways:
+
+* **pixel error** — how faithfully it re-renders the raw plot (Table 4's
+  metric; M4 wins by design);
+* **saliency margin** — how strongly the rendered pixels separate the true
+  anomalous region from the rest, per the simulated observer (the Figure 6
+  mechanism; ASAP wins by design).
+
+The point of the paper in one table: pixel fidelity and attention
+prioritization are different goals.
+
+Run:  python examples/anomaly_comparison.py
+"""
+
+import numpy as np
+
+from repro.perception import VISUALIZATIONS, region_saliency, render_visualization
+from repro.timeseries import load
+from repro.vis import pixel_error
+
+dataset = load("taxi")
+values = dataset.series.values
+n = len(values)
+true_region = dataset.anomalies[0].region_index(n, regions=5)
+x_range = (0.0, float(n - 1))
+
+print(f"Taxi trace: {n} points, anomaly ({dataset.anomalies[0].kind}) "
+      f"in plot region {true_region + 1}/5\n")
+print(f"{'technique':>12} {'points':>7} {'pixel err':>10} {'saliency margin':>16}")
+for technique in VISUALIZATIONS:
+    plot = render_visualization(technique, values)
+    error = pixel_error(
+        values, plot.values, transformed_positions=plot.positions
+    )
+    saliency = region_saliency(
+        plot.values, positions=plot.positions, x_range=x_range
+    )
+    others = np.delete(saliency, true_region)
+    margin = float(saliency[true_region] - others.max())
+    print(f"{technique:>12} {plot.values.size:>7} {error:>10.2f} {margin:>+16.2f}")
+
+print("""
+Reading the table:
+  - M4/simp re-render the raw pixels almost exactly (low pixel error) but the
+    anomalous region pops no more than in the raw plot (margin near zero).
+  - ASAP disagrees with most raw pixels -- deliberately -- and produces the
+    largest saliency margin: the observer (and the paper's human subjects)
+    find the anomaly faster and more reliably.""")

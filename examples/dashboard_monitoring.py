@@ -1,0 +1,50 @@
+"""Streaming dashboard: continuously smooth live telemetry (Section 2's
+Application Monitoring case study, Figure 2).
+
+An on-call operator watches cluster CPU utilization.  Raw 5-minute readings
+fluctuate so much that a sustained usage spike is invisible; streaming ASAP
+folds arrivals into pixel-sized panes, re-searches the smoothing window at a
+human refresh timescale, and each emitted frame is ready to draw.
+
+Run:  python examples/dashboard_monitoring.py
+"""
+
+from repro import StreamingASAP
+from repro.stream import ReplaySource, run_stream
+from repro.timeseries import load, zscore
+from repro.vis import side_by_side
+
+RESOLUTION = 800          # dashboard panel width in pixels
+REFRESH_EVERY = 60        # aggregated points between re-renders
+
+telemetry = load("cpu_util")
+n = len(telemetry.series)
+pane_size = max(n // RESOLUTION, 1)
+
+operator = StreamingASAP(
+    pane_size=pane_size,
+    resolution=RESOLUTION,
+    refresh_interval=REFRESH_EVERY,
+)
+
+print(f"Streaming {n} CPU readings (pane={pane_size} pts, "
+      f"refresh every {REFRESH_EVERY} aggregated pts)...\n")
+
+frames = list(run_stream(operator, ReplaySource(telemetry.series)))
+for frame in frames:
+    stats = frame.search
+    print(f"  refresh #{frame.refresh_index}: ingested={frame.points_ingested:>5} "
+          f"window={frame.window:>3} "
+          f"candidates={stats.candidates_evaluated:>2} "
+          f"roughness={stats.roughness:.4f}")
+
+final = frames[-1]
+print(f"\n{operator.searches_run} searches over {operator.points_ingested} points "
+      f"({operator.candidates_evaluated} total SMA evaluations)")
+print()
+print(side_by_side([
+    ("raw", zscore(telemetry.series.values)),
+    ("ASAP", zscore(final.series.values)),
+], width=72))
+print("\nThe sustained usage spike near the end of the window is obscured by")
+print("noise in the raw line and unmistakable in the smoothed one.")

@@ -1,0 +1,45 @@
+"""Historical analysis: 248 years of monthly temperature (Figure 3 and the
+Temp user-study dataset).
+
+Seasonal swings dominate the raw plot; ASAP smooths them away and the 1900s
+warming trend emerges.  This is also the dataset where *oversmoothing* beats
+ASAP in the paper's studies — both are shown so you can judge.
+
+Run:  python examples/historical_climate.py
+"""
+
+from repro import smooth
+from repro.spectral import sma
+from repro.timeseries import kurtosis, load, roughness, zscore
+from repro.vis import side_by_side
+
+temp = load("temp")
+values = temp.series.values
+
+result = smooth(temp.series, resolution=800)
+months_per_point = result.window_original_units
+oversmooth_window = max(len(values) // 4, 2)
+oversmoothed = sma(values, oversmooth_window)
+
+print("Monthly temperature in England, 1723-1970 (reconstruction)")
+print(f"  ASAP window       : {months_per_point} months "
+      f"(~{months_per_point / 12:.0f}-year average; paper found 23 years)")
+print(f"  oversmooth window : {oversmooth_window} months "
+      f"(~{oversmooth_window / 12:.0f}-year average)")
+print()
+rows = [
+    ("raw", values),
+    ("ASAP", result.series.values),
+    ("oversmoothed", oversmoothed),
+]
+print(f"{'plot':>14} {'roughness':>10} {'kurtosis':>9}")
+for label, series in rows:
+    print(f"{label:>14} {roughness(series):>10.4f} {kurtosis(series):>9.2f}")
+print()
+print(side_by_side([(label, zscore(series)) for label, series in rows], width=72))
+print()
+anomaly = temp.anomalies[0]
+print(f"Ground truth: the {anomaly.kind} occupies the final fifth of the record.")
+print("ASAP keeps decadal variability visible; the quarter-length average")
+print("flattens everything except the warming trend — which is why the")
+print("paper's participants preferred it for this one dataset.")

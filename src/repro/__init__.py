@@ -1,0 +1,56 @@
+"""repro — a reproduction of ASAP: Prioritizing Attention via Time Series
+Smoothing (Rong & Bailis, VLDB 2017).
+
+ASAP automatically smooths a time series for visualization: it picks the
+simple-moving-average window that minimizes roughness (the standard deviation
+of first differences) while preserving kurtosis (so large-scale deviations
+stay visible), and does so fast via autocorrelation pruning, pixel-aware
+preaggregation, and on-demand streaming refresh.
+
+Quickstart::
+
+    from repro import smooth
+    from repro.timeseries import load
+
+    taxi = load("taxi")
+    result = smooth(taxi.series, resolution=800)
+    print(result.summary())
+
+Packages:
+
+* :mod:`repro.core` — the ASAP operator (metrics, search, streaming);
+* :mod:`repro.timeseries` — series container, statistics, dataset
+  reconstructions;
+* :mod:`repro.spectral` — FFT, moving-average kernels, alternative filters;
+* :mod:`repro.stream` — panes, windows, incremental aggregates;
+* :mod:`repro.vis` — rasterization, pixel metrics, M4/PAA/simplification;
+* :mod:`repro.perception` — the simulated-observer user-study harness;
+* :mod:`repro.experiments` — regenerators for every table and figure.
+"""
+
+from .core import (
+    ASAP,
+    DEFAULT_RESOLUTION,
+    Frame,
+    SearchResult,
+    SmoothingResult,
+    StreamingASAP,
+    find_window,
+    smooth,
+)
+from .timeseries import TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASAP",
+    "DEFAULT_RESOLUTION",
+    "Frame",
+    "SearchResult",
+    "SmoothingResult",
+    "StreamingASAP",
+    "TimeSeries",
+    "find_window",
+    "smooth",
+    "__version__",
+]

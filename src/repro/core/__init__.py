@@ -1,0 +1,73 @@
+"""Core ASAP: metrics, search, preaggregation, batch and streaming operators."""
+
+from .metrics import (
+    estimate_is_rougher,
+    kurtosis,
+    kurtosis_iid,
+    roughness,
+    roughness_estimate,
+    roughness_iid,
+)
+from .acf import (
+    ACFAnalysis,
+    DEFAULT_CORRELATION_THRESHOLD,
+    analyze_acf,
+    autocorrelation,
+    autocorrelation_bruteforce,
+    find_acf_peaks,
+)
+from .smoothing import WindowEvaluation, evaluate_window, sma, sma_with_slide, smooth_series
+from .preaggregation import PreaggregationResult, point_to_pixel_ratio, preaggregate
+from .search import (
+    STRATEGIES,
+    SearchResult,
+    SearchState,
+    asap_search,
+    binary_search,
+    exhaustive_search,
+    grid_search,
+    run_strategy,
+    search_periodic,
+)
+from .result import SmoothingResult
+from .batch import ASAP, DEFAULT_RESOLUTION, find_window, smooth
+from .streaming import Frame, StreamingASAP
+
+__all__ = [
+    "estimate_is_rougher",
+    "kurtosis",
+    "kurtosis_iid",
+    "roughness",
+    "roughness_estimate",
+    "roughness_iid",
+    "ACFAnalysis",
+    "DEFAULT_CORRELATION_THRESHOLD",
+    "analyze_acf",
+    "autocorrelation",
+    "autocorrelation_bruteforce",
+    "find_acf_peaks",
+    "WindowEvaluation",
+    "evaluate_window",
+    "sma",
+    "sma_with_slide",
+    "smooth_series",
+    "PreaggregationResult",
+    "point_to_pixel_ratio",
+    "preaggregate",
+    "STRATEGIES",
+    "SearchResult",
+    "SearchState",
+    "asap_search",
+    "binary_search",
+    "exhaustive_search",
+    "grid_search",
+    "run_strategy",
+    "search_periodic",
+    "SmoothingResult",
+    "ASAP",
+    "DEFAULT_RESOLUTION",
+    "find_window",
+    "smooth",
+    "Frame",
+    "StreamingASAP",
+]

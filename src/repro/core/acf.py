@@ -1,0 +1,163 @@
+"""Autocorrelation analysis (Section 4.3).
+
+ASAP prunes its window search using the autocorrelation function (ACF) of the
+input series: windows aligned with periods of high autocorrelation produce
+smoother moving averages (Equation 5), so only ACF *peaks* need to be
+examined as candidates.  Computing the ACF naively is O(n^2); the paper uses
+"two Fast Fourier Transforms" for O(n log n), which is what
+:func:`autocorrelation` does (via :mod:`repro.spectral.fft` by default, or
+numpy's FFT for speed).
+
+Peak detection follows the reference behaviour: scan the correlogram for
+interior local maxima above a correlation threshold; if at most one peak
+exists the series is treated as aperiodic and ASAP falls back to binary
+search (Section 4.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spectral.fft import fft as _fft
+from ..spectral.fft import ifft as _ifft
+from ..spectral.fft import rfft_autocorrelation_lengths
+
+__all__ = [
+    "autocorrelation",
+    "autocorrelation_bruteforce",
+    "find_acf_peaks",
+    "ACFAnalysis",
+    "analyze_acf",
+    "DEFAULT_CORRELATION_THRESHOLD",
+]
+
+#: Minimum peak correlation for a lag to count as a period (reference value).
+DEFAULT_CORRELATION_THRESHOLD = 0.2
+
+
+def _validated(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+    if arr.size < 2:
+        raise ValueError(f"autocorrelation needs >= 2 points, got {arr.size}")
+    return arr
+
+
+def default_max_lag(n: int) -> int:
+    """The search's default maximum lag/window: one tenth of the series."""
+    return max(n // 10, 2)
+
+
+def autocorrelation(values, max_lag: int | None = None, backend: str = "numpy") -> np.ndarray:
+    """ACF estimates for lags ``0..max_lag`` via FFT, O(n log n).
+
+    Uses the estimator the paper derives Equation 5 from:
+    ``ACF(X, k) = sum_{i<=N-k} (x_i - mean)(x_{i+k} - mean) / sum (x_i - mean)^2``
+    so ``acf[0] == 1``.  A zero-variance series has undefined ACF; we return
+    zeros past lag 0, which makes every pruning rule degrade safely.
+    """
+    arr = _validated(values)
+    n = arr.size
+    lag = default_max_lag(n) if max_lag is None else max_lag
+    if not 0 <= lag < n:
+        raise ValueError(f"max_lag must be in [0, {n}), got {lag}")
+    centered = arr - arr.mean()
+    energy = float(np.dot(centered, centered))
+    if energy == 0.0:
+        out = np.zeros(lag + 1)
+        out[0] = 1.0
+        return out
+    padded_len = rfft_autocorrelation_lengths(n)
+    padded = np.zeros(padded_len, dtype=np.float64)
+    padded[:n] = centered
+    spectrum = _fft(padded, backend=backend)
+    correlation = _ifft(spectrum * np.conj(spectrum), backend=backend)
+    return np.real(correlation[: lag + 1]) / energy
+
+
+def autocorrelation_bruteforce(values, max_lag: int | None = None) -> np.ndarray:
+    """O(n * max_lag) direct ACF — the oracle the FFT path is tested against."""
+    arr = _validated(values)
+    n = arr.size
+    lag = default_max_lag(n) if max_lag is None else max_lag
+    if not 0 <= lag < n:
+        raise ValueError(f"max_lag must be in [0, {n}), got {lag}")
+    centered = arr - arr.mean()
+    energy = float(np.dot(centered, centered))
+    out = np.zeros(lag + 1)
+    if energy == 0.0:
+        out[0] = 1.0
+        return out
+    for k in range(lag + 1):
+        out[k] = float(np.dot(centered[: n - k], centered[k:])) / energy
+    return out
+
+
+def find_acf_peaks(
+    correlations: np.ndarray,
+    threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+) -> tuple[list[int], float]:
+    """Interior local maxima of the correlogram above *threshold*.
+
+    Returns ``(peak_lags, max_peak_correlation)``.  Lags 0 and 1 are never
+    peaks (lag-0 is trivially 1.0; lag-1 has no left neighbour beyond it).
+    When no peaks qualify, ``max_peak_correlation`` is 0.0.
+    """
+    acf = np.asarray(correlations, dtype=np.float64)
+    peaks: list[int] = []
+    max_acf = 0.0
+    for lag in range(2, acf.size - 1):
+        is_local_max = acf[lag] > acf[lag - 1] and acf[lag] >= acf[lag + 1]
+        if is_local_max and acf[lag] > threshold:
+            peaks.append(lag)
+            max_acf = max(max_acf, float(acf[lag]))
+    return peaks, max_acf
+
+
+@dataclass(frozen=True)
+class ACFAnalysis:
+    """Everything the ASAP search needs to know about a series' ACF."""
+
+    correlations: np.ndarray
+    peaks: tuple[int, ...]
+    max_acf: float
+    max_lag: int
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when at least one qualifying ACF peak exists.
+
+        Aperiodic series skip Algorithm 1 and go straight to binary search.
+        """
+        return len(self.peaks) > 0
+
+    def correlation_at(self, lag: int) -> float:
+        """ACF value at *lag*, clamped to the computed range."""
+        if lag < 0:
+            raise ValueError(f"lag must be non-negative, got {lag}")
+        if lag >= self.correlations.size:
+            return 0.0
+        return float(self.correlations[lag])
+
+
+def analyze_acf(
+    values,
+    max_lag: int | None = None,
+    threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+    backend: str = "numpy",
+) -> ACFAnalysis:
+    """Compute the correlogram and its peaks in one step."""
+    arr = _validated(values)
+    lag = default_max_lag(arr.size) if max_lag is None else max_lag
+    lag = min(lag, arr.size - 1)
+    correlations = autocorrelation(arr, lag, backend=backend)
+    peaks, max_acf = find_acf_peaks(correlations, threshold)
+    return ACFAnalysis(
+        correlations=correlations,
+        peaks=tuple(peaks),
+        max_acf=max_acf,
+        max_lag=lag,
+    )

@@ -1,0 +1,171 @@
+"""Batch ASAP: the public one-call smoothing API (Algorithm 2 end to end).
+
+Given a series and a target resolution, :func:`smooth`:
+
+1. preaggregates to the point-to-pixel ratio (Section 4.4),
+2. searches for the best window with the requested strategy (ASAP by
+   default; the baselines are available for comparison), and
+3. applies the simple moving average and returns a
+   :class:`~repro.core.result.SmoothingResult`.
+
+:class:`ASAP` wraps the same pipeline as a configured, reusable object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.series import TimeSeries
+from ..timeseries.stats import kurtosis, roughness
+from .preaggregation import preaggregate
+from .result import SmoothingResult
+from .search import SearchResult, run_strategy
+from .smoothing import sma
+
+__all__ = ["smooth", "find_window", "ASAP", "DEFAULT_RESOLUTION"]
+
+#: The paper's user-study rendering width; a sensible dashboard default.
+DEFAULT_RESOLUTION = 800
+
+
+def _coerce_series(data) -> TimeSeries:
+    if isinstance(data, TimeSeries):
+        return data
+    return TimeSeries(np.asarray(data, dtype=np.float64))
+
+
+def find_window(
+    data,
+    resolution: int = DEFAULT_RESOLUTION,
+    max_window: int | None = None,
+    strategy: str = "asap",
+    use_preaggregation: bool = True,
+) -> tuple[SearchResult, int]:
+    """Search for the best window without producing the smoothed series.
+
+    Returns ``(search_result, preaggregation_ratio)``; the window in the
+    result is in aggregated units.
+    """
+    series = _coerce_series(data)
+    if use_preaggregation:
+        agg = preaggregate(series.values, resolution)
+        values, ratio = agg.values, agg.ratio
+    else:
+        values, ratio = series.values, 1
+    result = run_strategy(strategy, values, max_window)
+    return result, ratio
+
+
+def smooth(
+    data,
+    resolution: int = DEFAULT_RESOLUTION,
+    max_window: int | None = None,
+    strategy: str = "asap",
+    use_preaggregation: bool = True,
+) -> SmoothingResult:
+    """Automatically smooth a time series for visualization.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.timeseries.TimeSeries` or 1-D array-like.
+    resolution:
+        Target display width in pixels; drives preaggregation and the final
+        point budget.
+    max_window:
+        Optional cap on candidate windows (aggregated units).  Defaults to
+        one tenth of the searched series, the paper's setting.
+    strategy:
+        ``"asap"`` (default) or one of the baselines
+        (``exhaustive``/``grid2``/``grid10``/``binary``).
+    use_preaggregation:
+        Disable to search the raw series — exact but orders of magnitude
+        slower on large inputs (the paper's `ASAPno-agg` configuration).
+
+    Examples
+    --------
+    >>> from repro import smooth
+    >>> from repro.timeseries import load
+    >>> result = smooth(load("taxi", scale=0.5).series, resolution=400)
+    >>> result.window >= 1
+    True
+    """
+    series = _coerce_series(data)
+    if use_preaggregation:
+        agg = preaggregate(series.values, resolution)
+        searched_values, ratio = agg.values, agg.ratio
+    else:
+        searched_values, ratio = np.asarray(series.values, dtype=np.float64), 1
+
+    search = run_strategy(strategy, searched_values, max_window)
+
+    smoothed_values = sma(searched_values, search.window)
+    n_buckets = searched_values.size
+    bucket_starts = np.arange(n_buckets) * ratio
+    bucket_timestamps = series.timestamps[bucket_starts]
+    out_timestamps = bucket_timestamps[: smoothed_values.size]
+    name = f"{series.name}:asap" if series.name else "asap"
+    smoothed = TimeSeries(smoothed_values, out_timestamps, name=name)
+
+    return SmoothingResult(
+        series=smoothed,
+        window=search.window,
+        window_original_units=search.window * ratio,
+        preaggregation_ratio=ratio,
+        search=search,
+        original_roughness=roughness(searched_values),
+        original_kurtosis=kurtosis(searched_values),
+        roughness=roughness(smoothed_values),
+        kurtosis=kurtosis(smoothed_values),
+    )
+
+
+class ASAP:
+    """A configured smoothing operator, reusable across series.
+
+    >>> operator = ASAP(resolution=1200)
+    >>> result = operator.smooth([1.0, 2.0, 1.0, 2.0] * 50)
+    >>> result.window >= 1
+    True
+    """
+
+    def __init__(
+        self,
+        resolution: int = DEFAULT_RESOLUTION,
+        max_window: int | None = None,
+        strategy: str = "asap",
+        use_preaggregation: bool = True,
+    ) -> None:
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        self.resolution = resolution
+        self.max_window = max_window
+        self.strategy = strategy
+        self.use_preaggregation = use_preaggregation
+
+    def smooth(self, data) -> SmoothingResult:
+        """Smooth one series with this operator's configuration."""
+        return smooth(
+            data,
+            resolution=self.resolution,
+            max_window=self.max_window,
+            strategy=self.strategy,
+            use_preaggregation=self.use_preaggregation,
+        )
+
+    def find_window(self, data) -> tuple[SearchResult, int]:
+        """Search only; see :func:`find_window`."""
+        return find_window(
+            data,
+            resolution=self.resolution,
+            max_window=self.max_window,
+            strategy=self.strategy,
+            use_preaggregation=self.use_preaggregation,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ASAP(resolution={self.resolution}, strategy={self.strategy!r}, "
+            f"max_window={self.max_window}, "
+            f"use_preaggregation={self.use_preaggregation})"
+        )

@@ -1,0 +1,91 @@
+"""ASAP's quality metrics and their closed-form estimates.
+
+Section 3 defines the two measures the whole system optimizes:
+
+* **roughness** — the standard deviation of the first-difference series
+  (minimize);
+* **kurtosis** — the fourth standardized moment (preserve:
+  ``Kurt[smoothed] >= Kurt[original]``).
+
+Section 4 derives two closed forms this module also provides:
+
+* Equation 2 — for IID data, ``roughness(SMA(X, w)) = sqrt(2) * sigma / w``;
+* Equation 5 — for weakly stationary data,
+  ``roughness(SMA(X, w)) = sqrt(2)*sigma/w * sqrt(1 - N/(N-w) * ACF(X, w))``,
+  the identity behind autocorrelation pruning (validated to ~1% in
+  Figure A.1, which we reproduce).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..timeseries.stats import kurtosis, roughness
+
+__all__ = [
+    "roughness",
+    "kurtosis",
+    "roughness_iid",
+    "roughness_estimate",
+    "kurtosis_iid",
+    "estimate_is_rougher",
+]
+
+
+def roughness_iid(sigma: float, window: int) -> float:
+    """Equation 2: expected roughness of an IID series smoothed at *window*."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return math.sqrt(2.0) * sigma / window
+
+
+def kurtosis_iid(kurtosis_x: float, window: int) -> float:
+    """Equation 4: kurtosis of a window-*w* average of IID variables.
+
+    ``Kurt[Y] - 3 = (Kurt[X] - 3) / w``: averaging drives kurtosis toward the
+    normal value 3 from either side, which is why binary search on the
+    kurtosis constraint is sound for IID data (Section 4.2).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return 3.0 + (kurtosis_x - 3.0) / window
+
+
+def roughness_estimate(sigma: float, n: int, window: int, acf_at_window: float) -> float:
+    """Equation 5: estimated roughness of ``SMA(X, window)`` from the ACF.
+
+    ``sqrt(2)*sigma/w * sqrt(1 - N/(N-w) * ACF(X, w))``.  The radicand can go
+    slightly negative for very high autocorrelation combined with large
+    ``w/N`` (the estimator is approximate); we clamp at zero, which keeps the
+    pruning rules conservative.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if not 0 < window < n:
+        raise ValueError(f"window must be in (0, {n}), got {window}")
+    radicand = 1.0 - (n / (n - window)) * acf_at_window
+    radicand = max(radicand, 0.0)
+    return math.sqrt(2.0) * sigma / window * math.sqrt(radicand)
+
+
+def estimate_is_rougher(
+    candidate_window: int,
+    candidate_acf: float,
+    best_window: int,
+    best_acf: float,
+) -> bool:
+    """Algorithm 1's ``ISROUGHER``: compare estimated roughness of two windows.
+
+    Drops the common ``sqrt(2)*sigma`` factor and the ``N/(N-w)`` correction
+    (negligible for ``w << N``), leaving
+    ``sqrt(1 - acf[w]) / w  >  sqrt(1 - acf[best]) / best``.
+    True means the candidate's *estimated* roughness is strictly worse than
+    the current best's, so the candidate can be skipped without smoothing.
+    """
+    if candidate_window < 1 or best_window < 1:
+        raise ValueError("windows must be >= 1")
+    candidate_score = math.sqrt(max(1.0 - candidate_acf, 0.0)) / candidate_window
+    best_score = math.sqrt(max(1.0 - best_acf, 0.0)) / best_window
+    return candidate_score > best_score

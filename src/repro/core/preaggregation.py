@@ -1,0 +1,73 @@
+"""Pixel-aware preaggregation (Section 4.4).
+
+There is rarely benefit in smoothing parameters finer than the target
+display can show: a plot wider than the screen's pixel count collapses many
+points into each column anyway.  ASAP therefore buckets the input into
+non-overlapping means of size equal to the *point-to-pixel ratio*
+``floor(N / resolution)`` before searching, shrinking both the series and the
+candidate space by that factor (Table 1).
+
+Preaggregation is only applied when the series is at least twice the target
+resolution — below that the plot already fits and bucketing would only throw
+away information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PreaggregationResult", "point_to_pixel_ratio", "preaggregate"]
+
+#: Only preaggregate when the series is at least this multiple of the target.
+MIN_OVERSAMPLING = 2
+
+
+@dataclass(frozen=True)
+class PreaggregationResult:
+    """The aggregated series plus the bookkeeping to map results back."""
+
+    values: np.ndarray
+    ratio: int
+    original_length: int
+
+    @property
+    def applied(self) -> bool:
+        """Whether any bucketing actually happened (ratio > 1)."""
+        return self.ratio > 1
+
+    def window_in_original_units(self, window: int) -> int:
+        """Translate a window on the aggregate back to raw-point units."""
+        return window * self.ratio
+
+
+def point_to_pixel_ratio(n: int, resolution: int) -> int:
+    """``floor(n / resolution)``, minimum 1 — the paper's bucket size."""
+    if n < 0:
+        raise ValueError(f"series length must be non-negative, got {n}")
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    return max(n // resolution, 1)
+
+
+def preaggregate(values, resolution: int) -> PreaggregationResult:
+    """Bucket *values* into point-to-pixel-ratio means when oversampled.
+
+    Trailing points that do not fill a complete bucket are dropped, matching
+    the pane semantics of the streaming implementation (a pane only becomes a
+    plotted point once full).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+    n = arr.size
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    if n < MIN_OVERSAMPLING * resolution:
+        return PreaggregationResult(values=arr.copy(), ratio=1, original_length=n)
+    ratio = point_to_pixel_ratio(n, resolution)
+    buckets = n // ratio
+    trimmed = arr[: buckets * ratio]
+    aggregated = trimmed.reshape(buckets, ratio).mean(axis=1)
+    return PreaggregationResult(values=aggregated, ratio=ratio, original_length=n)

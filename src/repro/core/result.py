@@ -1,0 +1,67 @@
+"""Result types for the public smoothing API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..timeseries.series import TimeSeries
+from .search import SearchResult
+
+__all__ = ["SmoothingResult"]
+
+
+@dataclass(frozen=True)
+class SmoothingResult:
+    """Everything a caller learns from one ASAP smoothing pass.
+
+    Attributes
+    ----------
+    series:
+        The smoothed series, ready to plot (at most ~resolution points when
+        preaggregation applies).
+    window:
+        Chosen SMA window, in units of *aggregated* points.
+    window_original_units:
+        The same window expressed in raw input points
+        (``window * preaggregation_ratio``).
+    preaggregation_ratio:
+        Point-to-pixel bucket size that was applied (1 = no preaggregation).
+    search:
+        The underlying :class:`~repro.core.search.SearchResult`, including
+        how many candidates were evaluated and by which strategy.
+    original_roughness / original_kurtosis:
+        Metrics of the (aggregated) input the search ran on.
+    roughness / kurtosis:
+        Metrics of the smoothed output series.
+    """
+
+    series: TimeSeries
+    window: int
+    window_original_units: int
+    preaggregation_ratio: int
+    search: SearchResult
+    original_roughness: float
+    original_kurtosis: float
+    roughness: float
+    kurtosis: float
+
+    @property
+    def smoothed(self) -> bool:
+        """False when ASAP decided the series is best left unsmoothed."""
+        return self.window > 1
+
+    @property
+    def roughness_reduction(self) -> float:
+        """Factor by which roughness dropped (>= 1.0; 1.0 when unsmoothed)."""
+        if self.roughness == 0.0:
+            return float("inf") if self.original_roughness > 0.0 else 1.0
+        return self.original_roughness / self.roughness
+
+    def summary(self) -> str:
+        """One-line human-readable description, for logs and examples."""
+        return (
+            f"window={self.window} (x{self.preaggregation_ratio} raw="
+            f"{self.window_original_units}) roughness {self.original_roughness:.4g}"
+            f"->{self.roughness:.4g} kurtosis {self.original_kurtosis:.3g}"
+            f"->{self.kurtosis:.3g} candidates={self.search.candidates_evaluated}"
+        )

@@ -1,0 +1,300 @@
+"""Window-search strategies (Section 4, Algorithms 1 and 2).
+
+All strategies solve the same problem:
+
+    minimize  roughness(SMA(X, w))
+    subject to  Kurt[SMA(X, w)] >= Kurt[X]
+
+over integer windows ``w`` in ``[1, max_window]`` (``w = 1`` is the always-
+feasible "leave it unsmoothed" answer).  They differ in which candidates they
+evaluate:
+
+* :func:`exhaustive_search` — every window (the O(N^2) strawman, Section 4.1);
+* :func:`grid_search` — every ``step``-th window (Grid2/Grid10 in Figure 8);
+* :func:`binary_search` — bisection on the kurtosis constraint, justified for
+  IID data by Equations 2 and 4 (Section 4.2);
+* :func:`asap_search` — Algorithm 2: evaluate autocorrelation peaks from
+  large to small with the two pruning rules of Algorithm 1 (lower-bound via
+  Equation 6, roughness-estimate via Equation 5), then binary-search the gap
+  above the largest feasible peak; falls back to plain binary search for
+  aperiodic series.
+
+Every strategy reports how many candidates it actually smoothed
+(``candidates_evaluated``), the quantity Table 2 compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..timeseries.stats import kurtosis, roughness
+from .acf import ACFAnalysis, analyze_acf, default_max_lag
+from .metrics import estimate_is_rougher
+from .smoothing import evaluate_window
+
+__all__ = [
+    "SearchResult",
+    "SearchState",
+    "exhaustive_search",
+    "grid_search",
+    "binary_search",
+    "asap_search",
+    "search_periodic",
+    "STRATEGIES",
+    "run_strategy",
+]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a window search over one series."""
+
+    window: int
+    roughness: float
+    kurtosis: float
+    candidates_evaluated: int
+    strategy: str
+    max_window: int
+
+    @property
+    def smoothed(self) -> bool:
+        """Whether any smoothing beyond the identity window was selected."""
+        return self.window > 1
+
+
+@dataclass
+class SearchState:
+    """Mutable search state — the ``opt`` record threaded through Algorithm 1.
+
+    ``window = 1`` (the unsmoothed series) is the initial incumbent: it is
+    always feasible because ``Kurt[X] >= Kurt[X]``.  ``lower_bound`` is the
+    Equation 6 pruning floor; ``largest_feasible_peak`` tracks where the
+    follow-up binary search should start.
+    """
+
+    window: int = 1
+    roughness: float = math.inf
+    lower_bound: int = 1
+    largest_feasible_idx: int = -1
+    candidates_evaluated: int = 0
+    original_kurtosis: float = 0.0
+
+    @classmethod
+    def for_series(cls, values) -> "SearchState":
+        return cls(
+            window=1,
+            roughness=roughness(values),
+            original_kurtosis=kurtosis(values),
+        )
+
+    def consider(self, evaluation) -> bool:
+        """Record one evaluated candidate; return True if it became the best."""
+        self.candidates_evaluated += 1
+        if not evaluation.is_feasible(self.original_kurtosis):
+            return False
+        if evaluation.roughness < self.roughness:
+            self.window = evaluation.window
+            self.roughness = evaluation.roughness
+            return True
+        return False
+
+    def to_result(self, strategy: str, max_window: int) -> SearchResult:
+        return SearchResult(
+            window=self.window,
+            roughness=self.roughness,
+            kurtosis=self.original_kurtosis,
+            candidates_evaluated=self.candidates_evaluated,
+            strategy=strategy,
+            max_window=max_window,
+        )
+
+
+def _resolve_max_window(values, max_window: int | None) -> int:
+    n = np.asarray(values).size
+    if n < 4:
+        raise ValueError(f"search needs at least 4 points, got {n}")
+    resolved = default_max_lag(n) if max_window is None else max_window
+    if resolved < 2:
+        raise ValueError(f"max_window must be >= 2, got {resolved}")
+    return min(resolved, n - 1)
+
+
+# -- baseline strategies -----------------------------------------------------
+
+
+def exhaustive_search(values, max_window: int | None = None) -> SearchResult:
+    """Evaluate every window in ``[2, max_window]`` (Section 4.1 strawman)."""
+    arr = np.asarray(values, dtype=np.float64)
+    limit = _resolve_max_window(arr, max_window)
+    state = SearchState.for_series(arr)
+    for window in range(2, limit + 1):
+        state.consider(evaluate_window(arr, window))
+    return state.to_result("exhaustive", limit)
+
+
+def grid_search(values, step: int, max_window: int | None = None) -> SearchResult:
+    """Evaluate every *step*-th window — Grid2/Grid10 of Figure 8.
+
+    Roughness is not monotonic in window length for periodic data, so a
+    coarse grid can (and in the paper's Figure 8, does) miss the optimum.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    arr = np.asarray(values, dtype=np.float64)
+    limit = _resolve_max_window(arr, max_window)
+    state = SearchState.for_series(arr)
+    for window in range(2, limit + 1, step):
+        state.consider(evaluate_window(arr, window))
+    return state.to_result(f"grid{step}", limit)
+
+
+def binary_search(values, max_window: int | None = None) -> SearchResult:
+    """Bisect on the kurtosis constraint (Section 4.2).
+
+    Sound for IID data, where roughness decreases and kurtosis moves
+    monotonically toward 3 with window size; used by ASAP as the fallback
+    for aperiodic series and as Figure 8's `Binary` baseline.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    limit = _resolve_max_window(arr, max_window)
+    state = SearchState.for_series(arr)
+    _binary_search_range(arr, 2, limit, state)
+    return state.to_result("binary", limit)
+
+
+def _binary_search_range(arr: np.ndarray, head: int, tail: int, state: SearchState) -> None:
+    """Shared bisection: feasible midpoints push the search to larger windows."""
+    while head <= tail:
+        window = (head + tail) // 2
+        evaluation = evaluate_window(arr, window)
+        state.consider(evaluation)
+        if evaluation.is_feasible(state.original_kurtosis):
+            head = window + 1
+        else:
+            tail = window - 1
+
+
+# -- ASAP (Algorithms 1 and 2) ------------------------------------------------
+
+
+def _update_lower_bound(state: SearchState, window: int, acf: ACFAnalysis) -> None:
+    """Algorithm 1's ``UPDATELB`` — Equation 6.
+
+    Once *window* is feasible with autocorrelation ``a``, any smaller window
+    ``w'`` can only beat it if ``w' > window * sqrt((1 - maxACF) / (1 - a))``.
+    """
+    acf_here = acf.correlation_at(window)
+    if acf_here >= 1.0:
+        bound = window
+    else:
+        bound = int(window * math.sqrt((1.0 - acf.max_acf) / (1.0 - acf_here)))
+    state.lower_bound = max(state.lower_bound, bound)
+
+
+def search_periodic(values, candidates, acf: ACFAnalysis, state: SearchState) -> SearchState:
+    """Algorithm 1: evaluate candidate windows from large to small with pruning.
+
+    Pruning rules:
+    * **lower bound** (Equation 6) — stop once candidates fall below the
+      floor established by earlier feasible windows;
+    * **roughness estimate** (Equation 5 via ``ISROUGHER``) — skip candidates
+      whose estimated roughness already exceeds the incumbent's.
+
+    One deliberate refinement over the paper's printed pseudocode: kurtosis
+    feasibility updates the lower bound and ``largest_feasible_idx`` even when
+    the candidate does not improve on the incumbent roughness — feasibility
+    and improvement are independent facts, and conflating them (as the
+    printed conjunction does) weakens pruning without changing the result.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    candidate_list = list(candidates)
+    for index in range(len(candidate_list) - 1, -1, -1):
+        window = candidate_list[index]
+        if window < state.lower_bound:
+            break
+        if window < 2 or window > arr.size - 1:
+            continue
+        if estimate_is_rougher(
+            window,
+            acf.correlation_at(window),
+            state.window,
+            acf.correlation_at(state.window),
+        ):
+            continue
+        evaluation = evaluate_window(arr, window)
+        state.consider(evaluation)
+        if evaluation.is_feasible(state.original_kurtosis):
+            _update_lower_bound(state, window, acf)
+            state.largest_feasible_idx = max(state.largest_feasible_idx, index)
+    return state
+
+
+def asap_search(
+    values,
+    max_window: int | None = None,
+    acf: ACFAnalysis | None = None,
+    state: SearchState | None = None,
+) -> SearchResult:
+    """Algorithm 2: ACF-peak search plus gap binary search.
+
+    Parameters
+    ----------
+    values:
+        The (typically preaggregated) series to search.
+    max_window:
+        Upper bound on windows; defaults to one tenth of the series length,
+        the paper's experimental setting.
+    acf:
+        Precomputed ACF analysis, e.g. maintained incrementally by the
+        streaming operator; computed here when absent.
+    state:
+        Seed search state, used by streaming ASAP to carry the previous
+        frame's feasible window into the new search (Section 4.5).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    limit = _resolve_max_window(arr, max_window)
+    if acf is None:
+        acf = analyze_acf(arr, max_lag=limit)
+    if state is None:
+        state = SearchState.for_series(arr)
+
+    peaks = [p for p in acf.peaks if 2 <= p <= limit]
+    if acf.is_periodic and peaks:
+        state = search_periodic(arr, peaks, acf, state)
+        if state.largest_feasible_idx >= 0:
+            feasible_peak = peaks[state.largest_feasible_idx]
+            if state.largest_feasible_idx + 1 < len(peaks):
+                tail = peaks[state.largest_feasible_idx + 1]
+            else:
+                tail = limit
+            head = max(state.lower_bound, feasible_peak + 1)
+        else:
+            head, tail = 2, limit
+        _binary_search_range(arr, head, min(tail, limit), state)
+    else:
+        _binary_search_range(arr, 2, limit, state)
+    return state.to_result("asap", limit)
+
+
+#: Strategy registry for the Figure 8/9 sweeps: name -> callable(values, max_window).
+STRATEGIES = {
+    "exhaustive": exhaustive_search,
+    "grid2": lambda values, max_window=None: grid_search(values, 2, max_window),
+    "grid10": lambda values, max_window=None: grid_search(values, 10, max_window),
+    "binary": binary_search,
+    "asap": asap_search,
+}
+
+
+def run_strategy(name: str, values, max_window: int | None = None) -> SearchResult:
+    """Run a registered strategy by name."""
+    try:
+        strategy = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {', '.join(STRATEGIES)}"
+        ) from None
+    return strategy(values, max_window)

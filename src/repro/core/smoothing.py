@@ -1,0 +1,55 @@
+"""The smoothing function: simple moving average (Section 3.3).
+
+ASAP fixes its smoothing function to the simple moving average and tunes only
+its window size.  This module wraps the O(n) prefix-sum kernel from the
+spectral substrate with the slide policy the paper uses: slide 1 during the
+search (every candidate window's roughness/kurtosis must be exact) and a
+display-resolution slide when emitting final plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spectral.convolution import sma, sma_with_slide
+from ..timeseries.series import TimeSeries
+from ..timeseries.stats import kurtosis, roughness
+
+__all__ = ["sma", "sma_with_slide", "smooth_series", "evaluate_window", "WindowEvaluation"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WindowEvaluation:
+    """Quality metrics of one candidate window — one row of the search."""
+
+    window: int
+    roughness: float
+    kurtosis: float
+
+    def is_feasible(self, original_kurtosis: float) -> bool:
+        """The paper's preservation constraint: ``Kurt[Y] >= Kurt[X]``."""
+        return self.kurtosis >= original_kurtosis
+
+
+def evaluate_window(values, window: int) -> WindowEvaluation:
+    """Smooth at *window* (slide 1) and measure roughness and kurtosis."""
+    smoothed = sma(values, window)
+    return WindowEvaluation(
+        window=window,
+        roughness=roughness(smoothed),
+        kurtosis=kurtosis(smoothed),
+    )
+
+
+def smooth_series(series: TimeSeries, window: int, slide: int = 1) -> TimeSeries:
+    """Apply SMA to a :class:`TimeSeries`, carrying window-start timestamps."""
+    values = sma_with_slide(series.values, window, slide)
+    n_out = values.size
+    starts = np.arange(n_out) * slide
+    return TimeSeries(
+        values,
+        series.timestamps[starts],
+        name=f"{series.name}:sma({window})" if series.name else f"sma({window})",
+    )

@@ -1,0 +1,205 @@
+"""Streaming ASAP (Section 4.5, Algorithm 3).
+
+The streaming operator folds arrivals into panes sized by the point-to-pixel
+ratio, keeps a bounded buffer of completed panes (the visualized window), and
+re-runs the window search only every ``refresh_interval`` aggregated points —
+on-demand updates at human-perceptible timescales rather than per arrival.
+
+On each refresh the operator:
+
+1. recomputes the ACF over the in-window aggregates (``UPDATEACF``);
+2. revalidates the previous frame's window (``CHECKLASTWINDOW``): if that
+   window still satisfies the kurtosis constraint it seeds the new search,
+   so the roughness-estimate pruning can reject candidates immediately;
+3. runs ``FINDWINDOW`` (Algorithm 2) and emits a freshly smoothed frame.
+
+The three optimizations can be disabled independently — pane size 1 turns
+off pixel-aware aggregation, ``strategy="exhaustive"`` turns off
+autocorrelation pruning, ``refresh_interval=1`` turns off on-demand updates —
+which is exactly the grid the Figure 11 factor/lesion analysis sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stream.operators import StreamOperator
+from ..stream.panes import PaneBuffer
+from ..stream.sources import StreamPoint
+from ..timeseries.series import TimeSeries
+from ..timeseries.stats import kurtosis, roughness
+from .acf import analyze_acf
+from .search import SearchResult, SearchState, asap_search, run_strategy
+from .smoothing import sma
+
+__all__ = ["Frame", "StreamingASAP"]
+
+#: Below this many completed panes a search is statistically meaningless.
+_MIN_PANES_FOR_SEARCH = 8
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One rendered refresh: the smoothed window ready for display."""
+
+    series: TimeSeries
+    window: int
+    search: SearchResult
+    refresh_index: int
+    points_ingested: int
+
+
+class StreamingASAP(StreamOperator[StreamPoint, Frame]):
+    """Continuously smooth a stream, refreshing at human timescales.
+
+    Parameters
+    ----------
+    pane_size:
+        Raw arrivals per aggregated point (the point-to-pixel ratio).  Use 1
+        to disable pixel-aware preaggregation.
+    resolution:
+        Number of aggregated points kept in the visualized window (the
+        display width in pixels).
+    refresh_interval:
+        How many *aggregated* points to collect between searches.  1 refreshes
+        for every aggregated point (the paper's inefficient baseline); larger
+        values are the on-demand optimization.
+    strategy:
+        Search strategy per refresh: ``"asap"`` (default) or a baseline name.
+    max_window:
+        Optional cap on candidate windows, in aggregated units.
+    seed_from_previous:
+        Reuse the previous refresh's feasible window to seed pruning
+        (``CHECKLASTWINDOW``).  Only meaningful for the ASAP strategy.
+    """
+
+    def __init__(
+        self,
+        pane_size: int,
+        resolution: int = 800,
+        refresh_interval: int = 10,
+        strategy: str = "asap",
+        max_window: int | None = None,
+        seed_from_previous: bool = True,
+    ) -> None:
+        if refresh_interval < 1:
+            raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        self._buffer = PaneBuffer(pane_size=pane_size, capacity=resolution)
+        self.refresh_interval = refresh_interval
+        self.strategy = strategy
+        self.max_window = max_window
+        self.seed_from_previous = seed_from_previous
+        self._panes_since_refresh = 0
+        self._previous_window: int | None = None
+        self._refresh_count = 0
+        self._searches_run = 0
+        self._candidates_evaluated = 0
+
+    # -- counters used by the performance experiments -------------------------
+
+    @property
+    def refresh_count(self) -> int:
+        """Frames emitted so far."""
+        return self._refresh_count
+
+    @property
+    def searches_run(self) -> int:
+        """Window searches executed (one per emitted frame)."""
+        return self._searches_run
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """Total SMA evaluations across all searches."""
+        return self._candidates_evaluated
+
+    @property
+    def points_ingested(self) -> int:
+        """Raw points pushed so far."""
+        return self._buffer.total_points
+
+    # -- operator contract ----------------------------------------------------
+
+    def push(self, item: StreamPoint):
+        """Ingest one arrival; yields a :class:`Frame` on refresh boundaries."""
+        completed = self._buffer.push(item.timestamp, item.value)
+        if completed is None:
+            return ()
+        self._panes_since_refresh += 1
+        if self._panes_since_refresh < self.refresh_interval:
+            return ()
+        self._panes_since_refresh = 0
+        frame = self._refresh()
+        return (frame,) if frame is not None else ()
+
+    def flush(self):
+        """Emit one final frame for any aggregates since the last refresh."""
+        if self._panes_since_refresh == 0:
+            return ()
+        self._panes_since_refresh = 0
+        frame = self._refresh()
+        return (frame,) if frame is not None else ()
+
+    def reset(self) -> None:
+        """Drop all window state (e.g. the user scrolled to a new range)."""
+        self._buffer.clear()
+        self._panes_since_refresh = 0
+        self._previous_window = None
+
+    # -- Algorithm 3 internals --------------------------------------------------
+
+    def _check_last_window(self, values: np.ndarray) -> SearchState:
+        """``CHECKLASTWINDOW``: seed the search from the previous window.
+
+        If the previous window still satisfies the kurtosis constraint on the
+        updated aggregates, adopt it as the incumbent (enabling the roughness
+        pruning to discard weaker candidates without smoothing them);
+        otherwise start from scratch.
+        """
+        state = SearchState.for_series(values)
+        previous = self._previous_window
+        if previous is None or previous < 2 or previous > values.size - 1:
+            return state
+        smoothed = sma(values, previous)
+        if kurtosis(smoothed) >= state.original_kurtosis:
+            state.window = previous
+            state.roughness = roughness(smoothed)
+            state.candidates_evaluated += 1
+        return state
+
+    def _refresh(self) -> Frame | None:
+        values = self._buffer.aggregated_values()
+        if values.size < _MIN_PANES_FOR_SEARCH:
+            return None
+        if self.strategy == "asap":
+            acf = analyze_acf(
+                values,
+                max_lag=(
+                    min(self.max_window, values.size - 1)
+                    if self.max_window is not None
+                    else None
+                ),
+            )
+            state = (
+                self._check_last_window(values)
+                if self.seed_from_previous
+                else SearchState.for_series(values)
+            )
+            search = asap_search(values, max_window=self.max_window, acf=acf, state=state)
+        else:
+            search = run_strategy(self.strategy, values, self.max_window)
+        self._searches_run += 1
+        self._candidates_evaluated += search.candidates_evaluated
+        self._previous_window = search.window
+
+        smoothed_values = sma(values, search.window)
+        timestamps = self._buffer.aggregated_timestamps()[: smoothed_values.size]
+        self._refresh_count += 1
+        return Frame(
+            series=TimeSeries(smoothed_values, timestamps, name="asap-stream"),
+            window=search.window,
+            search=search,
+            refresh_index=self._refresh_count - 1,
+            points_ingested=self._buffer.total_points,
+        )

@@ -1,0 +1,44 @@
+"""Experiment regenerators: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured rows and a
+``format_result(...)`` printer.  ``python -m repro.experiments <exhibit>``
+runs one from the command line; see DESIGN.md for the exhibit index.
+"""
+
+from . import (
+    casestudies,
+    fig6_user_study,
+    fig7_preference,
+    fig8_strategies,
+    fig9_preagg,
+    fig10_streaming,
+    fig11_factor,
+    figa1_estimate,
+    figa3_linear_algos,
+    figb1_sensitivity,
+    figb2_filters,
+    table1_devices,
+    table2_datasets,
+    table4_pixel_error,
+)
+
+#: CLI name -> module, in paper order.
+EXHIBITS = {
+    "table1": table1_devices,
+    "table2": table2_datasets,
+    "fig6": fig6_user_study,
+    "fig7": fig7_preference,
+    "fig8": fig8_strategies,
+    "fig9": fig9_preagg,
+    "fig10": fig10_streaming,
+    "fig11": fig11_factor,
+    "figa1": figa1_estimate,
+    "figa2": fig9_preagg,  # Figure A.2 shares the preaggregation module
+    "figa3": figa3_linear_algos,
+    "table4": table4_pixel_error,
+    "figb1": figb1_sensitivity,
+    "figb2": figb2_filters,
+    "casestudies": casestudies,
+}
+
+__all__ = ["EXHIBITS"]

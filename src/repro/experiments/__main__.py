@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro.experiments <exhibit> [--fast]``.
+
+Runs one exhibit's regenerator and prints its table(s).  ``--fast`` shrinks
+dataset scales and trial counts for a quick look; the defaults reproduce the
+paper-scale configuration.  ``all`` runs every exhibit in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EXHIBITS
+from . import (
+    casestudies,
+    fig6_user_study,
+    fig7_preference,
+    fig8_strategies,
+    fig9_preagg,
+    fig10_streaming,
+    fig11_factor,
+    figa1_estimate,
+    figa3_linear_algos,
+    figb1_sensitivity,
+    figb2_filters,
+    table1_devices,
+    table2_datasets,
+    table4_pixel_error,
+)
+
+
+def _run_exhibit(name: str, fast: bool) -> str:
+    scale = 0.1 if fast else 1.0
+    trials = 10 if fast else 50
+    budget = 0.5 if fast else 3.0
+    if name == "table1":
+        return table1_devices.format_result(table1_devices.run())
+    if name == "table2":
+        return table2_datasets.format_result(table2_datasets.run(scale=scale))
+    if name == "fig6":
+        return fig6_user_study.format_result(
+            fig6_user_study.run(trials_per_cell=trials, dataset_scale=scale if fast else 1.0)
+        )
+    if name == "fig7":
+        return fig7_preference.format_result(
+            fig7_preference.run(dataset_scale=scale if fast else 1.0)
+        )
+    if name == "fig8":
+        resolutions = (1000, 3000) if fast else (1000, 2000, 3000, 4000, 5000)
+        return fig8_strategies.format_result(
+            fig8_strategies.run(resolutions=resolutions, scale=scale, repeats=1)
+        )
+    if name == "fig9":
+        resolutions = (1000, 3000) if fast else (1000, 2000, 3000, 4000, 5000)
+        return fig9_preagg.format_result(
+            fig9_preagg.run(resolutions=resolutions, scale=scale)
+        )
+    if name == "fig10":
+        intervals = (1, 8, 64) if fast else (1, 2, 4, 8, 16, 32, 64, 128, 256)
+        return fig10_streaming.format_result(
+            fig10_streaming.run(intervals=intervals, scale=scale, time_budget=budget)
+        )
+    if name == "fig11":
+        return fig11_factor.format_result(
+            fig11_factor.run(scale=scale, time_budget=budget)
+        )
+    if name == "figa1":
+        return figa1_estimate.format_result(figa1_estimate.run(scale=1.0))
+    if name == "figa2":
+        return fig9_preagg.format_datasets(fig9_preagg.run_datasets(scale=scale))
+    if name == "figa3":
+        return figa3_linear_algos.format_result(
+            figa3_linear_algos.run(scale=scale, repeats=1)
+        )
+    if name == "table4":
+        return table4_pixel_error.format_result(
+            table4_pixel_error.run(scale=scale if fast else 1.0)
+        )
+    if name == "figb1":
+        return figb1_sensitivity.format_result(
+            figb1_sensitivity.run(trials_per_cell=trials, dataset_scale=scale if fast else 1.0)
+        )
+    if name == "figb2":
+        return figb2_filters.format_result(figb2_filters.run(scale=scale if fast else 1.0))
+    if name == "casestudies":
+        return casestudies.render_all(scale=scale if fast else 1.0)
+    raise KeyError(name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure from the ASAP paper.",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(EXHIBITS) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down quick run (small datasets, few trials)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_run_exhibit(name, args.fast))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Figure 8: search strategies over preaggregated data, varying resolution.
+
+Compares grid search (steps 2 and 10), binary search, and ASAP against
+exhaustive search on the same preaggregated inputs, across target
+resolutions.  Both panels of the paper's figure are reported:
+
+* **speed-up** — exhaustive search time / strategy search time;
+* **roughness ratio** — strategy's achieved roughness / exhaustive's.
+
+Paper shape: ASAP tracks binary search's speed (lagging up to ~50% due to
+the ACF computation) at up to ~60x over exhaustive, with a roughness ratio
+near 1; binary search is up to 7.5x rougher; Grid2 matches quality but not
+speed; Grid10 has the worst quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.preaggregation import preaggregate
+from ..core.search import run_strategy
+from ..timeseries.datasets import PERFORMANCE_DATASETS, load
+from .common import format_ratio, format_table, time_call
+
+__all__ = ["Cell", "run", "format_result", "COMPARED_STRATEGIES"]
+
+COMPARED_STRATEGIES = ("grid2", "grid10", "binary", "asap")
+
+_RESOLUTIONS = (1000, 2000, 3000, 4000, 5000)
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class Cell:
+    """Averages for one (resolution, strategy) across the benchmark datasets."""
+
+    resolution: int
+    strategy: str
+    speedup: float
+    roughness_ratio: float
+
+
+def run(
+    resolutions: Sequence[int] = _RESOLUTIONS,
+    dataset_names: Sequence[str] = PERFORMANCE_DATASETS,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> list[Cell]:
+    """Time every strategy on every dataset at every resolution."""
+    datasets = [load(name, scale=scale) for name in dataset_names]
+    cells: list[Cell] = []
+    for resolution in resolutions:
+        speedups: dict[str, list[float]] = {s: [] for s in COMPARED_STRATEGIES}
+        ratios: dict[str, list[float]] = {s: [] for s in COMPARED_STRATEGIES}
+        for dataset in datasets:
+            values = preaggregate(dataset.series.values, resolution).values
+            baseline = time_call(
+                lambda v=values: run_strategy("exhaustive", v), repeats=repeats
+            )
+            base_roughness = max(baseline.result.roughness, _EPSILON)
+            for strategy in COMPARED_STRATEGIES:
+                timed = time_call(
+                    lambda v=values, s=strategy: run_strategy(s, v), repeats=repeats
+                )
+                speedups[strategy].append(baseline.seconds / max(timed.seconds, _EPSILON))
+                ratios[strategy].append(
+                    max(timed.result.roughness, _EPSILON) / base_roughness
+                )
+        for strategy in COMPARED_STRATEGIES:
+            cells.append(
+                Cell(
+                    resolution=resolution,
+                    strategy=strategy,
+                    speedup=float(np.mean(speedups[strategy])),
+                    roughness_ratio=float(np.mean(ratios[strategy])),
+                )
+            )
+    return cells
+
+
+def format_result(cells: list[Cell]) -> str:
+    resolutions = sorted({c.resolution for c in cells})
+    by_key = {(c.resolution, c.strategy): c for c in cells}
+    speed_rows = []
+    ratio_rows = []
+    for resolution in resolutions:
+        speed_rows.append(
+            [resolution]
+            + [format_ratio(by_key[(resolution, s)].speedup) for s in COMPARED_STRATEGIES]
+        )
+        ratio_rows.append(
+            [resolution]
+            + [
+                f"{by_key[(resolution, s)].roughness_ratio:.2f}"
+                for s in COMPARED_STRATEGIES
+            ]
+        )
+    headers = ["Resolution"] + [s.capitalize() for s in COMPARED_STRATEGIES]
+    return (
+        format_table(headers, speed_rows, title="Figure 8 (left): speed-up vs exhaustive")
+        + "\n\n"
+        + format_table(
+            headers, ratio_rows, title="Figure 8 (right): roughness ratio vs exhaustive"
+        )
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

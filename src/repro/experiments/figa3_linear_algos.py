@@ -1,0 +1,93 @@
+"""Figure A.3: runtime of ASAP against the O(n) reductions PAA and M4.
+
+ASAP searches for a window, so it costs more than a single linear reduction
+pass; the paper reports ASAP up to ~20x slower than PAA and ~13x slower than
+M4 in absolute runtime (tens of milliseconds either way).  This experiment
+times all three on the ten datasets of the paper's figure at the 1200-pixel
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.batch import smooth
+from ..timeseries.datasets import load
+from ..vis.m4 import m4_aggregate
+from ..vis.paa import paa
+from .common import format_table, time_call
+
+__all__ = ["Row", "run", "format_result", "FIGURE_DATASETS"]
+
+#: The ten datasets of the paper's Figure A.3 (everything but Sine).
+FIGURE_DATASETS = (
+    "temp", "taxi", "eeg", "power", "sim_daily",
+    "ramp_traffic", "twitter_aapl", "machine_temp", "traffic_data", "gas_sensor",
+)
+
+_RESOLUTION = 1200
+
+
+@dataclass(frozen=True)
+class Row:
+    dataset: str
+    n_points: int
+    asap_ms: float
+    paa_ms: float
+    m4_ms: float
+
+
+def run(
+    dataset_names: Sequence[str] = FIGURE_DATASETS,
+    resolution: int = _RESOLUTION,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> list[Row]:
+    """Time ASAP end-to-end vs one PAA pass vs one M4 pass per dataset."""
+    rows: list[Row] = []
+    for name in dataset_names:
+        values = load(name, scale=scale).series.values
+        asap = time_call(lambda v=values: smooth(v, resolution=resolution), repeats=repeats)
+        paa_run = time_call(lambda v=values: paa(v, resolution), repeats=repeats)
+        m4_run = time_call(lambda v=values: m4_aggregate(v, resolution), repeats=repeats)
+        rows.append(
+            Row(
+                dataset=name,
+                n_points=values.size,
+                asap_ms=asap.seconds * 1e3,
+                paa_ms=paa_run.seconds * 1e3,
+                m4_ms=m4_run.seconds * 1e3,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[Row]) -> str:
+    body = [
+        (
+            row.dataset,
+            row.n_points,
+            f"{row.asap_ms:.2f}",
+            f"{row.paa_ms:.2f}",
+            f"{row.m4_ms:.2f}",
+        )
+        for row in rows
+    ]
+    mean_asap = sum(r.asap_ms for r in rows) / len(rows)
+    mean_paa = sum(r.paa_ms for r in rows) / len(rows)
+    mean_m4 = sum(r.m4_ms for r in rows) / len(rows)
+    table = format_table(
+        ["Dataset", "# points", "ASAP (ms)", "PAA (ms)", "M4 (ms)"],
+        body,
+        title="Figure A.3: runtime of ASAP vs linear-time reductions @1200px",
+    )
+    return (
+        f"{table}\n"
+        f"means: ASAP {mean_asap:.1f}ms, PAA {mean_paa:.1f}ms, M4 {mean_m4:.1f}ms "
+        f"(paper: 72.9 / 33.4 / 35.9 ms)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

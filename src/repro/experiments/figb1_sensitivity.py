@@ -1,0 +1,176 @@
+"""Figure B.1: sensitivity of study outcomes to roughness and kurtosis targets.
+
+Two sweeps around ASAP's operating point, re-running the observer study on
+each variant plot:
+
+* **Roughness** — plots whose roughness is 8x, 4x, 2x, and 0.5x ASAP's
+  (found by scanning windows for the closest achieved roughness);
+* **Kurtosis** — windows chosen by ASAP's objective under a scaled
+  constraint ``Kurt[Y] >= c * Kurt[X]`` for c in {0.5, 1.5, 2.0}.
+
+Paper finding: rougher plots hurt accuracy (61.5%/55.8% at 8x/4x vs ~79% at
+2x/0.5x); the kurtosis factor matters less; ASAP's configuration attains the
+best average accuracy and lowest response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.preaggregation import preaggregate
+from ..core.search import asap_search
+from ..perception.observer import Observer
+from ..perception.study import USER_STUDY_DATASETS, StudyConfig
+from ..spectral.convolution import sma
+from ..timeseries.datasets import load
+from ..timeseries.stats import kurtosis, roughness
+from .common import format_table
+
+__all__ = ["Variant", "Cell", "VARIANTS", "run", "format_result"]
+
+_RESOLUTION = 800
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One plot configuration of the sensitivity grid."""
+
+    label: str
+    kind: str  # "asap" | "roughness" | "kurtosis"
+    factor: float = 1.0
+
+
+VARIANTS: tuple[Variant, ...] = (
+    Variant("ASAP", "asap"),
+    Variant("8x", "roughness", 8.0),
+    Variant("4x", "roughness", 4.0),
+    Variant("2x", "roughness", 2.0),
+    Variant("1/2x", "roughness", 0.5),
+    Variant("k0.5", "kurtosis", 0.5),
+    Variant("k1.5", "kurtosis", 1.5),
+    Variant("k2", "kurtosis", 2.0),
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    dataset: str
+    variant: str
+    window: int
+    accuracy: float
+    mean_response_time: float
+
+
+def _window_for_roughness(values: np.ndarray, target: float, max_window: int) -> int:
+    """Window whose smoothed roughness is closest to *target*."""
+    best_window, best_gap = 1, abs(roughness(values) - target)
+    for window in range(2, max_window + 1):
+        gap = abs(roughness(sma(values, window)) - target)
+        if gap < best_gap:
+            best_window, best_gap = window, gap
+    return best_window
+
+
+def _window_for_kurtosis_factor(values: np.ndarray, factor: float, max_window: int) -> int:
+    """Exhaustive argmin-roughness under ``Kurt[Y] >= factor * Kurt[X]``."""
+    threshold = factor * kurtosis(values)
+    best_window, best_roughness = 1, roughness(values)
+    for window in range(2, max_window + 1):
+        smoothed = sma(values, window)
+        if kurtosis(smoothed) >= threshold and roughness(smoothed) < best_roughness:
+            best_window, best_roughness = window, roughness(smoothed)
+    return best_window
+
+
+def run(
+    dataset_names: Sequence[str] = USER_STUDY_DATASETS,
+    variants: Sequence[Variant] = VARIANTS,
+    trials_per_cell: int = 50,
+    dataset_scale: float = 1.0,
+    seed: int = 11,
+) -> list[Cell]:
+    """Run the observer study on every variant of every dataset."""
+    cfg = StudyConfig(trials_per_cell=trials_per_cell, dataset_scale=dataset_scale)
+    cells: list[Cell] = []
+    for dataset_index, name in enumerate(dataset_names):
+        dataset = load(name, scale=dataset_scale)
+        raw = dataset.series.values
+        n_raw = raw.size
+        agg = preaggregate(raw, _RESOLUTION)
+        values, ratio = agg.values, agg.ratio
+        max_window = max(values.size // 10, 2)
+        asap_window = asap_search(values).window
+        asap_roughness = roughness(sma(values, asap_window))
+        true_region = dataset.anomalies[0].region_index(n_raw, cfg.regions)
+        x_range = (0.0, float(n_raw - 1))
+        for variant_index, variant in enumerate(variants):
+            if variant.kind == "asap":
+                window = asap_window
+            elif variant.kind == "roughness":
+                window = _window_for_roughness(
+                    values, variant.factor * asap_roughness, max_window
+                )
+            else:
+                window = _window_for_kurtosis_factor(values, variant.factor, max_window)
+            displayed = sma(values, window)
+            positions = np.arange(displayed.size) * ratio + (window * ratio - 1) / 2.0
+            observer = Observer(seed=seed + 997 * dataset_index + variant_index)
+            correct = np.zeros(trials_per_cell, dtype=bool)
+            times = np.zeros(trials_per_cell)
+            for trial_index in range(trials_per_cell):
+                trial = observer.identify(
+                    displayed,
+                    true_region,
+                    regions=cfg.regions,
+                    width=cfg.width,
+                    height=cfg.height,
+                    positions=positions,
+                    x_range=x_range,
+                )
+                correct[trial_index] = trial.correct
+                times[trial_index] = trial.response_time
+            cells.append(
+                Cell(
+                    dataset=name,
+                    variant=variant.label,
+                    window=window,
+                    accuracy=float(correct.mean()),
+                    mean_response_time=float(times.mean()),
+                )
+            )
+    return cells
+
+
+def format_result(cells: list[Cell]) -> str:
+    datasets = list(dict.fromkeys(c.dataset for c in cells))
+    variants = list(dict.fromkeys(c.variant for c in cells))
+    by_key = {(c.dataset, c.variant): c for c in cells}
+    acc_rows = [
+        [d] + [f"{by_key[(d, v)].accuracy:.0%}" for v in variants] for d in datasets
+    ]
+    rt_rows = [
+        [d] + [f"{by_key[(d, v)].mean_response_time:.1f}" for v in variants]
+        for d in datasets
+    ]
+    headers = ["Dataset"] + variants
+    means = {
+        v: float(np.mean([by_key[(d, v)].accuracy for d in datasets])) for v in variants
+    }
+    mean_row = "mean accuracy: " + "  ".join(f"{v}={means[v]:.0%}" for v in variants)
+    return (
+        format_table(headers, acc_rows, title="Figure B.1 (top): accuracy by variant")
+        + "\n\n"
+        + format_table(
+            headers, rt_rows, title="Figure B.1 (bottom): response time (model sec)"
+        )
+        + "\n"
+        + mean_row
+        + "\n(paper: 8x=61.5%, 4x=55.8%, 2x=78.6%, 1/2x=79.8%; ASAP best overall)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,110 @@
+"""Table 2: batch results per dataset — window choice and candidates searched.
+
+For every reconstructed dataset, preaggregate to the paper's 1200-pixel
+target, run exhaustive search and ASAP, and report the selected window plus
+how many candidates each strategy actually smoothed.  The paper's headline:
+ASAP matches exhaustive search's window on every dataset while checking ~13x
+fewer candidates; Twitter AAPL is left unsmoothed (window 1) because of its
+extreme kurtosis.
+
+Window values are data-dependent, so our synthetic reconstructions yield
+their own windows; the reproduction targets are (a) agreement between ASAP
+and exhaustive search, (b) the candidate-count gap, and (c) the unsmoothed
+Twitter AAPL row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.preaggregation import preaggregate
+from ..core.search import asap_search, exhaustive_search
+from ..timeseries.datasets import DatasetInfo, available, load
+from .common import format_table
+
+__all__ = ["Row", "run", "format_result"]
+
+_TARGET_RESOLUTION = 1200
+
+
+@dataclass(frozen=True)
+class Row:
+    info: DatasetInfo
+    n_loaded: int
+    window_exhaustive: int
+    candidates_exhaustive: int
+    window_asap: int
+    candidates_asap: int
+
+    @property
+    def windows_agree(self) -> bool:
+        return self.window_exhaustive == self.window_asap
+
+
+def run(
+    scale: float = 1.0,
+    resolution: int = _TARGET_RESOLUTION,
+    dataset_names=None,
+) -> list[Row]:
+    """Run exhaustive vs ASAP over the (optionally scaled) datasets."""
+    names = list(dataset_names) if dataset_names is not None else [
+        name for name in available() if name != "cpu_util"
+    ]
+    rows: list[Row] = []
+    for name in names:
+        dataset = load(name, scale=scale)
+        aggregated = preaggregate(dataset.series.values, resolution).values
+        exhaustive = exhaustive_search(aggregated)
+        asap = asap_search(aggregated)
+        rows.append(
+            Row(
+                info=dataset.info,
+                n_loaded=len(dataset.series),
+                window_exhaustive=exhaustive.window,
+                candidates_exhaustive=exhaustive.candidates_evaluated,
+                window_asap=asap.window,
+                candidates_asap=asap.candidates_evaluated,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[Row]) -> str:
+    """Table 2 layout plus the paper's window/candidate columns."""
+    body = []
+    for row in rows:
+        body.append(
+            (
+                row.info.name,
+                row.n_loaded,
+                row.info.duration,
+                row.window_exhaustive,
+                row.candidates_exhaustive,
+                row.window_asap,
+                row.candidates_asap,
+                "yes" if row.windows_agree else "NO",
+                f"{row.info.paper_window}/"
+                f"{row.info.paper_candidates_exhaustive}/"
+                f"{row.info.paper_candidates_asap}",
+            )
+        )
+    mean_ex = sum(r.candidates_exhaustive for r in rows) / len(rows)
+    mean_asap = sum(r.candidates_asap for r in rows) / len(rows)
+    table = format_table(
+        [
+            "Dataset", "# points", "Duration",
+            "Exh window", "Exh #cand", "ASAP window", "ASAP #cand",
+            "Agree", "Paper w/ex/asap",
+        ],
+        body,
+        title="Table 2: batch ASAP vs exhaustive search @1200px",
+    )
+    return (
+        f"{table}\n"
+        f"mean candidates: exhaustive {mean_ex:.2f}, ASAP {mean_asap:.2f} "
+        f"({mean_ex / max(mean_asap, 1e-12):.1f}x fewer; paper: 113.64 vs 8.64, 13x)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,87 @@
+"""Table 4: pixel error of ASAP, M4, line simplification, and PAA800.
+
+Renders the original and each transformed series at the study resolution and
+measures pixel disagreement.  The point of this exhibit is the *contrast in
+goals*: M4 reproduces the raster almost exactly (error ~0.02), line
+simplification stays close, PAA800 lands mid-range, and ASAP — which distorts
+the plot on purpose — disagrees on most pixels (~0.9).  High ASAP pixel error
+together with high Figure 6 task accuracy is the paper's argument that pixel
+fidelity is the wrong metric for attention prioritization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..perception.study import USER_STUDY_DATASETS, render_visualization
+from ..timeseries.datasets import load
+from ..vis.pixel_error import pixel_error
+from .common import format_table
+
+__all__ = ["Row", "run", "format_result", "COMPARED", "PAPER_ERRORS"]
+
+#: Techniques in the paper's Table 4 column order.
+COMPARED = ("ASAP", "M4", "simp", "PAA800")
+
+#: The paper's reported pixel errors, keyed (dataset, technique).
+PAPER_ERRORS = {
+    ("temp", "ASAP"): 0.94, ("temp", "M4"): 0.02, ("temp", "simp"): 0.06, ("temp", "PAA800"): 0.36,
+    ("taxi", "ASAP"): 0.94, ("taxi", "M4"): 0.02, ("taxi", "simp"): 0.05, ("taxi", "PAA800"): 0.22,
+    ("eeg", "ASAP"): 0.92, ("eeg", "M4"): 0.02, ("eeg", "simp"): 0.21, ("eeg", "PAA800"): 0.61,
+    ("sine", "ASAP"): 0.93, ("sine", "M4"): 0.00, ("sine", "simp"): 0.00, ("sine", "PAA800"): 0.00,
+    ("power", "ASAP"): 0.94, ("power", "M4"): 0.04, ("power", "simp"): 0.17, ("power", "PAA800"): 0.56,
+}
+
+_WIDTH = 800
+_HEIGHT = 200
+
+
+@dataclass(frozen=True)
+class Row:
+    dataset: str
+    errors: dict[str, float]
+
+
+def run(
+    dataset_names: Sequence[str] = USER_STUDY_DATASETS,
+    scale: float = 1.0,
+    width: int = _WIDTH,
+    height: int = _HEIGHT,
+) -> list[Row]:
+    """Measure pixel error of every compared technique on every dataset."""
+    rows: list[Row] = []
+    for name in dataset_names:
+        values = load(name, scale=scale).series.values
+        errors: dict[str, float] = {}
+        for technique in COMPARED:
+            plot = render_visualization(technique, values, width)
+            errors[technique] = pixel_error(
+                values,
+                plot.values,
+                width=width,
+                height=height,
+                transformed_positions=plot.positions,
+            )
+        rows.append(Row(dataset=name, errors=errors))
+    return rows
+
+
+def format_result(rows: list[Row]) -> str:
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        for technique in COMPARED:
+            paper = PAPER_ERRORS.get((row.dataset, technique))
+            paper_txt = f" ({paper:.2f})" if paper is not None else ""
+            cells.append(f"{row.errors[technique]:.2f}{paper_txt}")
+        body.append(cells)
+    return format_table(
+        ["Dataset"] + [f"{t} (paper)" for t in COMPARED],
+        body,
+        title="Table 4: pixel error, measured (paper)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,27 @@
+"""Perception substrate: the simulated-observer user-study harness."""
+
+from .observer import Observer, Percept, Trial, extract_percept, region_saliency
+from .study import (
+    CellResult,
+    PREFERENCE_VISUALIZATIONS,
+    StudyConfig,
+    VISUALIZATIONS,
+    anomaly_identification_study,
+    preference_study,
+    render_visualization,
+)
+
+__all__ = [
+    "Observer",
+    "Percept",
+    "Trial",
+    "extract_percept",
+    "region_saliency",
+    "CellResult",
+    "PREFERENCE_VISUALIZATIONS",
+    "StudyConfig",
+    "VISUALIZATIONS",
+    "anomaly_identification_study",
+    "preference_study",
+    "render_visualization",
+]

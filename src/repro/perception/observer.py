@@ -1,0 +1,250 @@
+"""A simulated observer for the user studies (substitution for human subjects).
+
+The paper's Section 5.1 measures how visualization choices affect humans'
+ability to spot an anomalous region among five equal slices of a plot.  We
+cannot recruit 700 Mechanical Turk workers, so this module implements a
+stochastic observer whose *only* input is the rendered pixel raster — the
+same stimulus a human sees — and whose choice behaviour follows standard
+perceptual modelling:
+
+1. **Percept extraction.**  The plot is rasterized at study resolution; each
+   pixel column is summarized by the centroid row and vertical extent of its
+   lit pixels (position and thickness of the stroke a viewer sees there).
+2. **Saliency.**  Each of the five regions scores by how far its percept
+   departs from the plot-wide baseline, *normalized by the plot's local
+   jitter* — a Weber-style contrast-to-noise ratio.  This is the mechanism
+   the paper's thesis rests on: noise raises the denominator, hiding real
+   shifts; oversmoothing erases the numerator.
+3. **Choice.**  A softmax over region saliencies with calibrated temperature
+   plus a lapse rate (random guessing) produces accuracy; a diffusion-style
+   latency model (faster decisions when one region clearly dominates)
+   produces response times.
+
+Accuracy orderings across visualizations — not absolute percentages — are the
+reproduction target; EXPERIMENTS.md reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.generators import rng_from
+from ..vis.rasterize import rasterize
+
+__all__ = ["Percept", "extract_percept", "region_saliency", "Observer", "Trial"]
+
+_EPSILON = 1e-9
+
+#: Perceived contrast grows logarithmically with physical contrast
+#: (Weber–Fechner); log1p also keeps a zero floor and avoids the unbounded
+#: saliency a perfectly smooth plot would otherwise produce.
+
+
+@dataclass(frozen=True)
+class Percept:
+    """Per-column view of a rendered plot: stroke position and thickness."""
+
+    centroid: np.ndarray  # mean lit row per column, in [0, 1] (1 = top)
+    extent: np.ndarray  # lit-row span per column, in [0, 1]
+
+    @property
+    def width(self) -> int:
+        return int(self.centroid.size)
+
+
+def extract_percept(
+    values,
+    width: int = 800,
+    height: int = 200,
+    positions=None,
+    x_range=None,
+) -> Percept:
+    """Rasterize a series and summarize each pixel column.
+
+    Columns the polyline never crosses cannot occur (the rasterizer bridges
+    gaps), so both features are defined everywhere.  ``positions``/``x_range``
+    pin the x axis, so reduced series (M4, PAA, SMA with its half-window
+    offset) land where a real chart would draw them.
+    """
+    grid = rasterize(
+        np.asarray(values, dtype=np.float64),
+        width,
+        height,
+        positions=positions,
+        x_range=x_range,
+    )
+    rows = np.arange(grid.shape[0], dtype=np.float64)
+    centroid = np.empty(width)
+    extent = np.empty(width)
+    for col in range(width):
+        lit = np.nonzero(grid[:, col])[0]
+        if lit.size == 0:
+            centroid[col] = 0.5
+            extent[col] = 0.0
+            continue
+        centroid[col] = 1.0 - (float(rows[lit].mean()) / max(grid.shape[0] - 1, 1))
+        extent[col] = (float(lit.max() - lit.min())) / max(grid.shape[0] - 1, 1)
+    return Percept(centroid=centroid, extent=extent)
+
+
+def _feature_saliency(feature: np.ndarray, regions: int) -> np.ndarray:
+    """Contrast-to-noise of each region for one percept feature.
+
+    Numerator: the region's strongest sustained departure from the plot-wide
+    median (a small moving mean suppresses single-column speckle).
+    Denominator: the plot-wide column-to-column jitter (median absolute
+    difference), floored at one pixel — quantization means nothing below a
+    pixel is visible — so perfectly smooth plots do not yield unbounded
+    contrast.  The ratio is passed through a saturating nonlinearity.
+    """
+    width = feature.size
+    baseline = float(np.median(feature))
+    pixel_floor = 1.0 / 199.0  # one pixel at the default 200-row raster
+    jitter = max(float(np.median(np.abs(np.diff(feature)))), pixel_floor)
+    kernel = max(width // (regions * 8), 1)
+    padded = np.convolve(feature - baseline, np.ones(kernel) / kernel, mode="same")
+    scores = np.empty(regions)
+    bounds = (np.arange(regions + 1) * width) // regions
+    for region in range(regions):
+        segment = padded[bounds[region] : bounds[region + 1]]
+        raw = float(np.max(np.abs(segment))) / jitter
+        scores[region] = float(np.log1p(raw))
+    return scores
+
+
+def region_saliency(
+    values,
+    regions: int = 5,
+    width: int = 800,
+    height: int = 200,
+    positions=None,
+    x_range=None,
+) -> np.ndarray:
+    """Saliency of each of *regions* plot slices, from rendered pixels only.
+
+    Combines the position and thickness channels by taking, per region, the
+    stronger of the two normalized contrasts — an anomaly is findable if it
+    pops out in *either* channel.
+    """
+    if regions < 2:
+        raise ValueError(f"need at least 2 regions, got {regions}")
+    percept = extract_percept(
+        values, width=width, height=height, positions=positions, x_range=x_range
+    )
+    position = _feature_saliency(percept.centroid, regions)
+    thickness = _feature_saliency(percept.extent, regions)
+    return np.maximum(position, thickness)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One identification attempt by the observer."""
+
+    chosen_region: int
+    correct: bool
+    response_time: float
+    saliency: np.ndarray
+
+
+class Observer:
+    """A stochastic participant.
+
+    Parameters
+    ----------
+    temperature:
+        Softmax temperature over region saliencies.  Lower = more reliable
+        choices; calibrated so raw-plot accuracy lands in the paper's band.
+    lapse_rate:
+        Probability of ignoring the plot and guessing uniformly (inattentive
+        crowdworker behaviour; standard in psychometric models).
+    rt_floor / rt_scale:
+        Response-time model ``rt = floor + scale / (1 + gap) * noise`` where
+        ``gap`` is the saliency margin of the best region over the runner-up.
+    seed:
+        RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        temperature: float = 0.4,
+        lapse_rate: float = 0.08,
+        rt_floor: float = 4.0,
+        rt_scale: float = 28.0,
+        seed=0,
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if not 0.0 <= lapse_rate < 1.0:
+            raise ValueError(f"lapse_rate must be in [0, 1), got {lapse_rate}")
+        self.temperature = temperature
+        self.lapse_rate = lapse_rate
+        self.rt_floor = rt_floor
+        self.rt_scale = rt_scale
+        self._rng = rng_from(seed)
+
+    def _choose(self, saliency: np.ndarray) -> int:
+        if self._rng.random() < self.lapse_rate:
+            return int(self._rng.integers(saliency.size))
+        logits = saliency / self.temperature
+        logits = logits - logits.max()
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        return int(self._rng.choice(saliency.size, p=probabilities))
+
+    def _response_time(self, saliency: np.ndarray) -> float:
+        ordered = np.sort(saliency)[::-1]
+        gap = float(ordered[0] - ordered[1]) if ordered.size > 1 else float(ordered[0])
+        noise = float(self._rng.lognormal(mean=0.0, sigma=0.25))
+        return self.rt_floor + self.rt_scale / (1.0 + max(gap, 0.0)) * noise
+
+    def identify(
+        self,
+        values,
+        true_region: int,
+        regions: int = 5,
+        width: int = 800,
+        height: int = 200,
+        positions=None,
+        x_range=None,
+    ) -> Trial:
+        """Attempt to locate the anomalous region in a rendered plot."""
+        saliency = region_saliency(
+            values,
+            regions=regions,
+            width=width,
+            height=height,
+            positions=positions,
+            x_range=x_range,
+        )
+        chosen = self._choose(saliency)
+        return Trial(
+            chosen_region=chosen,
+            correct=(chosen == true_region),
+            response_time=self._response_time(saliency),
+            saliency=saliency,
+        )
+
+    def prefer(self, candidates, true_region: int, regions: int = 5, x_range=None) -> int:
+        """Pick the plot that best highlights the known anomaly (Study II).
+
+        *candidates* is a sequence of ``(values, positions)`` pairs (positions
+        may be None); the observer scores each by the saliency margin of the
+        true region over the other regions and chooses by softmax.
+        """
+        margins = []
+        for values, positions in candidates:
+            saliency = region_saliency(
+                values, regions=regions, positions=positions, x_range=x_range
+            )
+            others = np.delete(saliency, true_region)
+            margins.append(float(saliency[true_region] - others.max()))
+        margins_arr = np.asarray(margins)
+        if self._rng.random() < self.lapse_rate:
+            return int(self._rng.integers(margins_arr.size))
+        logits = margins_arr / self.temperature
+        logits -= logits.max()
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        return int(self._rng.choice(margins_arr.size, p=probabilities))

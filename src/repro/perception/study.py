@@ -1,0 +1,213 @@
+"""User-study harnesses (Sections 5.1.1 and 5.1.2).
+
+Study I (anomaly identification): for each dataset x visualization cell, a
+cohort of simulated observers sees the rendered plot and picks the anomalous
+region among five; we record accuracy and response time — the quantities of
+Figure 6.
+
+Study II (visual preference): each simulated participant sees four
+visualizations of the same dataset (original, ASAP, PAA100, oversmooth) and
+picks the one that best highlights the described anomaly — Figure 7.
+
+The seven visualization techniques match the paper's list (Section 5.1):
+original, ASAP, M4, Visvalingam–Whyatt ("simp"), PAA800, PAA100, and an
+oversmoothed plot (SMA with window = 1/4 of the series).  Each renderer
+returns the displayed values *and their x positions in original sample
+coordinates*, so a smoothed series is drawn at its window centers (charts
+center moving averages) and reduced series keep their true x locations —
+without this, region boundaries would not line up across techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch import smooth
+from ..spectral.convolution import sma
+from ..timeseries.datasets import Dataset, USER_STUDY_DATASETS, load
+from ..vis.m4 import m4_aggregate
+from ..vis.paa import paa
+from ..vis.simplify import visvalingam_whyatt
+from .observer import Observer
+
+__all__ = [
+    "VISUALIZATIONS",
+    "PREFERENCE_VISUALIZATIONS",
+    "RenderedPlot",
+    "render_visualization",
+    "CellResult",
+    "anomaly_identification_study",
+    "preference_study",
+    "StudyConfig",
+]
+
+#: Figure 6's seven techniques, in paper order.
+VISUALIZATIONS = ("ASAP", "Original", "M4", "simp", "PAA800", "PAA100", "Oversmooth")
+
+#: Figure 7's four techniques, in paper order.
+PREFERENCE_VISUALIZATIONS = ("Original", "ASAP", "PAA100", "Oversmooth")
+
+_STUDY_RESOLUTION = 800
+
+
+@dataclass(frozen=True)
+class RenderedPlot:
+    """Displayed values plus their x positions in original sample units."""
+
+    values: np.ndarray
+    positions: np.ndarray
+
+
+def _paa_positions(n: int, segments: int) -> np.ndarray:
+    bounds = (np.arange(segments + 1) * n) // segments
+    return (bounds[:-1] + bounds[1:] - 1) / 2.0
+
+
+def render_visualization(
+    name: str, values: np.ndarray, resolution: int = _STUDY_RESOLUTION
+) -> RenderedPlot:
+    """Produce the displayed point sequence for one technique."""
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.size
+    if name == "Original":
+        return RenderedPlot(arr, np.arange(n, dtype=np.float64))
+    if name == "ASAP":
+        result = smooth(arr, resolution=resolution)
+        displayed = result.series.values
+        ratio = result.preaggregation_ratio
+        raw_window = result.window_original_units
+        positions = np.arange(displayed.size) * ratio + (raw_window - 1) / 2.0
+        return RenderedPlot(displayed, positions)
+    if name == "M4":
+        indices, reduced = m4_aggregate(arr, resolution)
+        return RenderedPlot(reduced, indices.astype(np.float64))
+    if name == "simp":
+        kept = visvalingam_whyatt(np.arange(n, dtype=np.float64), arr, resolution)
+        return RenderedPlot(arr[kept], kept.astype(np.float64))
+    if name == "PAA800":
+        segments = min(800, n)
+        return RenderedPlot(paa(arr, segments), _paa_positions(n, segments))
+    if name == "PAA100":
+        segments = min(100, n)
+        return RenderedPlot(paa(arr, segments), _paa_positions(n, segments))
+    if name == "Oversmooth":
+        window = max(n // 4, 2)
+        displayed = sma(arr, window)
+        positions = np.arange(displayed.size) + (window - 1) / 2.0
+        return RenderedPlot(displayed, positions)
+    raise KeyError(f"unknown visualization {name!r}; known: {VISUALIZATIONS}")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregate outcome of one (dataset, visualization) study cell."""
+
+    dataset: str
+    visualization: str
+    accuracy: float
+    accuracy_stderr: float
+    mean_response_time: float
+    response_time_stderr: float
+    trials: int
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Cohort parameters shared by both studies."""
+
+    trials_per_cell: int = 50
+    regions: int = 5
+    width: int = _STUDY_RESOLUTION
+    height: int = 200
+    dataset_scale: float = 1.0
+    seed: int = 7
+
+
+def _primary_anomaly_region(dataset: Dataset, regions: int) -> int:
+    if not dataset.anomalies:
+        raise ValueError(f"dataset {dataset.info.name!r} has no ground-truth anomaly")
+    return dataset.anomalies[0].region_index(len(dataset.series), regions)
+
+
+def anomaly_identification_study(
+    dataset_names: Sequence[str] = USER_STUDY_DATASETS,
+    visualizations: Sequence[str] = VISUALIZATIONS,
+    config: StudyConfig | None = None,
+) -> list[CellResult]:
+    """Run Study I: accuracy and response time per (dataset, visualization)."""
+    cfg = config or StudyConfig()
+    results: list[CellResult] = []
+    for dataset_index, name in enumerate(dataset_names):
+        dataset = load(name, scale=cfg.dataset_scale)
+        n = len(dataset.series)
+        true_region = _primary_anomaly_region(dataset, cfg.regions)
+        x_range = (0.0, float(n - 1))
+        for vis_index, vis in enumerate(visualizations):
+            plot = render_visualization(vis, dataset.series.values, cfg.width)
+            observer = Observer(seed=cfg.seed + 1000 * dataset_index + vis_index)
+            correct = np.zeros(cfg.trials_per_cell, dtype=bool)
+            times = np.zeros(cfg.trials_per_cell)
+            for trial_index in range(cfg.trials_per_cell):
+                trial = observer.identify(
+                    plot.values,
+                    true_region,
+                    regions=cfg.regions,
+                    width=cfg.width,
+                    height=cfg.height,
+                    positions=plot.positions,
+                    x_range=x_range,
+                )
+                correct[trial_index] = trial.correct
+                times[trial_index] = trial.response_time
+            trials = cfg.trials_per_cell
+            accuracy = float(correct.mean())
+            results.append(
+                CellResult(
+                    dataset=name,
+                    visualization=vis,
+                    accuracy=accuracy,
+                    accuracy_stderr=float(np.sqrt(accuracy * (1 - accuracy) / trials)),
+                    mean_response_time=float(times.mean()),
+                    response_time_stderr=float(times.std(ddof=1) / np.sqrt(trials)),
+                    trials=trials,
+                )
+            )
+    return results
+
+
+def preference_study(
+    dataset_names: Sequence[str] = USER_STUDY_DATASETS,
+    visualizations: Sequence[str] = PREFERENCE_VISUALIZATIONS,
+    n_participants: int = 20,
+    config: StudyConfig | None = None,
+) -> dict[str, dict[str, float]]:
+    """Run Study II: per-dataset share of participants preferring each plot.
+
+    Returns ``{dataset: {visualization: share}}`` with shares summing to 1.
+    """
+    cfg = config or StudyConfig()
+    outcome: dict[str, dict[str, float]] = {}
+    for dataset_index, name in enumerate(dataset_names):
+        dataset = load(name, scale=cfg.dataset_scale)
+        n = len(dataset.series)
+        true_region = _primary_anomaly_region(dataset, cfg.regions)
+        x_range = (0.0, float(n - 1))
+        rendered = [
+            render_visualization(vis, dataset.series.values, cfg.width)
+            for vis in visualizations
+        ]
+        candidates = [(plot.values, plot.positions) for plot in rendered]
+        votes = np.zeros(len(visualizations), dtype=np.int64)
+        for participant in range(n_participants):
+            observer = Observer(seed=cfg.seed + 5000 * dataset_index + participant)
+            choice = observer.prefer(
+                candidates, true_region, regions=cfg.regions, x_range=x_range
+            )
+            votes[choice] += 1
+        outcome[name] = {
+            vis: float(votes[i]) / n_participants for i, vis in enumerate(visualizations)
+        }
+    return outcome

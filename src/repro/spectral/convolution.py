@@ -1,0 +1,82 @@
+"""Moving-window aggregation kernels.
+
+The simple moving average (SMA) is ASAP's smoothing function (Section 3.3).
+Smoothing the same series at many candidate windows is the inner loop of every
+search strategy, so the implementation matters: we use an exact prefix-sum
+formulation that computes *all* windows of one size in O(n) regardless of the
+window length, plus sliding min/max (monotonic deque, O(n)) for the MinMax
+filter comparison of Appendix B.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["sma", "sma_with_slide", "sliding_min", "sliding_max"]
+
+
+def _validate_window(n: int, window: int) -> None:
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window > n:
+        raise ValueError(f"window {window} exceeds series length {n}")
+
+
+def sma(values, window: int) -> np.ndarray:
+    """Simple moving average with slide 1: every full window of *window* points.
+
+    Returns ``n - window + 1`` points where ``out[i] = mean(x[i : i+window])``.
+    Uses a compensated prefix-sum so cost is O(n) independent of window size.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    _validate_window(arr.size, window)
+    if window == 1:
+        return arr.copy()
+    prefix = np.concatenate(([0.0], np.cumsum(arr)))
+    return (prefix[window:] - prefix[:-window]) / window
+
+
+def sma_with_slide(values, window: int, slide: int) -> np.ndarray:
+    """Simple moving average with an explicit slide between window starts.
+
+    ``slide == 1`` matches :func:`sma`; ``slide == window`` produces disjoint
+    bucket means (the pixel-aware preaggregation of Section 4.4).
+    """
+    if slide < 1:
+        raise ValueError(f"slide must be >= 1, got {slide}")
+    dense = sma(values, window)
+    return dense[::slide].copy()
+
+
+def _sliding_extreme(values, window: int, take_max: bool) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    _validate_window(arr.size, window)
+    out = np.empty(arr.size - window + 1, dtype=np.float64)
+    candidates: deque[int] = deque()
+    for i, value in enumerate(arr):
+        while candidates and (
+            arr[candidates[-1]] <= value if take_max else arr[candidates[-1]] >= value
+        ):
+            candidates.pop()
+        candidates.append(i)
+        if candidates[0] <= i - window:
+            candidates.popleft()
+        if i >= window - 1:
+            out[i - window + 1] = arr[candidates[0]]
+    return out
+
+
+def sliding_min(values, window: int) -> np.ndarray:
+    """Minimum of every full window, in O(n) via a monotonic deque."""
+    return _sliding_extreme(values, window, take_max=False)
+
+
+def sliding_max(values, window: int) -> np.ndarray:
+    """Maximum of every full window, in O(n) via a monotonic deque."""
+    return _sliding_extreme(values, window, take_max=True)

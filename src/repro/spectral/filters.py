@@ -1,0 +1,217 @@
+"""Alternative smoothing functions (Appendix B.2 of the paper).
+
+ASAP settled on the simple moving average after comparing it against the
+Fourier transform, the Savitzky–Golay filter, and MinMax aggregation
+(Section 3.3).  Figure B.2 reports the roughness each alternative achieves
+when its parameter is selected by ASAP's own criterion (minimize roughness
+subject to kurtosis preservation).  This module implements each alternative
+from scratch:
+
+* :func:`fft_lowpass` — keep the *k* lowest-frequency components;
+* :func:`fft_dominant` — keep the *k* highest-power components;
+* :func:`savitzky_golay` — local least-squares polynomial smoothing with
+  kernels derived from the normal equations (no scipy);
+* :func:`minmax_filter` — per-window min/max pairs, the aggregation used by
+  systems that want to preserve extremes.
+
+Each filter is also wrapped as a :class:`ParameterizedFilter` exposing a
+candidate-parameter sweep, which the Figure B.2 experiment drives with the
+shared selection criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .fft import fft, ifft
+
+__all__ = [
+    "fft_lowpass",
+    "fft_dominant",
+    "savitzky_golay_kernel",
+    "savitzky_golay",
+    "minmax_filter",
+    "ParameterizedFilter",
+    "filter_registry",
+]
+
+
+def _as_series(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("cannot filter an empty series")
+    return arr
+
+
+def _reconstruct(spectrum: np.ndarray, keep: np.ndarray, backend: str) -> np.ndarray:
+    masked = np.where(keep, spectrum, 0.0)
+    return np.real(ifft(masked, backend=backend))
+
+
+def fft_lowpass(values, n_components: int, backend: str = "numpy") -> np.ndarray:
+    """Reconstruct keeping the *n_components* lowest frequencies (plus DC).
+
+    Components are counted as conjugate pairs so the output stays real;
+    ``n_components=0`` returns the DC (mean) level.
+    """
+    arr = _as_series(values)
+    if n_components < 0:
+        raise ValueError(f"n_components must be >= 0, got {n_components}")
+    n = arr.size
+    spectrum = fft(arr, backend=backend)
+    frequencies = np.minimum(np.arange(n), n - np.arange(n))  # symmetric bin index
+    keep = frequencies <= n_components
+    return _reconstruct(spectrum, keep, backend)
+
+
+def fft_dominant(values, n_components: int, backend: str = "numpy") -> np.ndarray:
+    """Reconstruct keeping the *n_components* highest-power frequencies.
+
+    DC is always kept; conjugate pairs are kept together.  This is the
+    "FFT-dominant" strategy of Figure B.2, which tends to retain the strong
+    *high* frequencies of noisy series and therefore smooths poorly — the
+    behaviour the paper uses it to demonstrate.
+    """
+    arr = _as_series(values)
+    if n_components < 0:
+        raise ValueError(f"n_components must be >= 0, got {n_components}")
+    n = arr.size
+    spectrum = fft(arr, backend=backend)
+    frequencies = np.minimum(np.arange(n), n - np.arange(n))
+    power = np.zeros(n // 2 + 1)
+    magnitudes = np.abs(spectrum) ** 2
+    for bin_index in range(n):
+        power[frequencies[bin_index]] += magnitudes[bin_index]
+    ranked = np.argsort(power[1:])[::-1] + 1  # exclude DC from ranking
+    chosen = set(ranked[:n_components].tolist())
+    chosen.add(0)
+    keep = np.isin(frequencies, sorted(chosen))
+    return _reconstruct(spectrum, keep, backend)
+
+
+def savitzky_golay_kernel(window: int, degree: int) -> np.ndarray:
+    """Least-squares smoothing kernel for a centered window.
+
+    Solves the normal equations for fitting a degree-*degree* polynomial to
+    ``window`` equally spaced points and evaluating it at the center — the
+    classic Savitzky–Golay construction.  *window* must be odd and larger
+    than *degree*.
+    """
+    if window % 2 == 0 or window < 3:
+        raise ValueError(f"window must be odd and >= 3, got {window}")
+    if degree < 0 or degree >= window:
+        raise ValueError(f"degree must be in [0, window), got {degree}")
+    half = window // 2
+    positions = np.arange(-half, half + 1, dtype=np.float64)
+    vandermonde = np.vander(positions, degree + 1, increasing=True)
+    # Center-point evaluation row of the hat matrix: e0^T (A^T A)^-1 A^T.
+    gram = vandermonde.T @ vandermonde
+    coefficients = np.linalg.solve(gram, vandermonde.T)
+    return coefficients[0]
+
+
+def savitzky_golay(values, window: int, degree: int) -> np.ndarray:
+    """Apply Savitzky–Golay smoothing; output has ``n - window + 1`` points.
+
+    Matches SMA's "valid" output length so roughness comparisons between the
+    two filters are apples-to-apples (Figure B.2: SG1 = degree 1, SG4 =
+    degree 4).
+    """
+    arr = _as_series(values)
+    if window > arr.size:
+        raise ValueError(f"window {window} exceeds series length {arr.size}")
+    kernel = savitzky_golay_kernel(window, degree)
+    return np.convolve(arr, kernel[::-1], mode="valid")
+
+
+def minmax_filter(values, window: int) -> np.ndarray:
+    """Per-bucket (min, max) pairs, flattened in time order.
+
+    Splits the series into ``ceil(n / window)`` disjoint buckets and emits the
+    bucket minimum and maximum ordered by their positions — the aggregation a
+    min/max-preserving downsampler produces.  By construction consecutive
+    output points are far apart, which is why Figure B.2 finds it far rougher
+    than SMA.
+    """
+    arr = _as_series(values)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    out: list[float] = []
+    for start in range(0, arr.size, window):
+        bucket = arr[start : start + window]
+        lo_idx = int(np.argmin(bucket))
+        hi_idx = int(np.argmax(bucket))
+        first, second = sorted((lo_idx, hi_idx))
+        out.append(float(bucket[first]))
+        if second != first:
+            out.append(float(bucket[second]))
+    return np.asarray(out, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ParameterizedFilter:
+    """A smoothing function plus the parameter sweep Figure B.2 searches.
+
+    ``candidates(n)`` yields parameter values ordered small-to-large effect;
+    ``apply(values, param)`` produces the smoothed series.
+    """
+
+    name: str
+    apply: Callable[[np.ndarray, int], np.ndarray]
+    candidates: Callable[[int], Sequence[int]]
+
+
+def _window_candidates(n: int) -> list[int]:
+    upper = max(n // 5, 2)
+    return list(range(2, upper + 1))
+
+
+def _odd_window_candidates(minimum: int) -> Callable[[int], list[int]]:
+    def candidates(n: int) -> list[int]:
+        upper = max(n // 5, minimum)
+        return [w for w in range(minimum, upper + 1) if w % 2 == 1]
+
+    return candidates
+
+
+def _component_candidates(n: int) -> list[int]:
+    # Sweep the number of retained frequency components from aggressive
+    # smoothing (1) up to a quarter of the spectrum.
+    upper = max(n // 4, 2)
+    return list(range(1, upper + 1))
+
+
+def filter_registry() -> dict[str, ParameterizedFilter]:
+    """The five Figure B.2 alternatives keyed by their paper labels."""
+    return {
+        "FFT-low": ParameterizedFilter(
+            name="FFT-low",
+            apply=lambda values, k: fft_lowpass(values, k),
+            candidates=_component_candidates,
+        ),
+        "FFT-dominant": ParameterizedFilter(
+            name="FFT-dominant",
+            apply=lambda values, k: fft_dominant(values, k),
+            candidates=_component_candidates,
+        ),
+        "SG1": ParameterizedFilter(
+            name="SG1",
+            apply=lambda values, w: savitzky_golay(values, w, degree=1),
+            candidates=_odd_window_candidates(3),
+        ),
+        "SG4": ParameterizedFilter(
+            name="SG4",
+            apply=lambda values, w: savitzky_golay(values, w, degree=4),
+            candidates=_odd_window_candidates(7),
+        ),
+        "minmax": ParameterizedFilter(
+            name="minmax",
+            apply=lambda values, w: minmax_filter(values, w),
+            candidates=_window_candidates,
+        ),
+    }

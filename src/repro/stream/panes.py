@@ -1,0 +1,135 @@
+"""Pane-based subaggregation for sliding windows.
+
+Sliding-window aggregates "can be computed more efficiently by sub-aggregating
+the incoming data into disjoint segments (i.e., panes)" (Section 4.5, citing
+Li et al., "No pane, no gain").  Streaming ASAP maintains a linked list of
+pane subaggregates whose size equals the point-to-pixel ratio: each pane
+collapses ``pane_size`` raw arrivals into one aggregated point, and the
+visible window is a bounded deque of completed panes.
+
+:class:`PaneBuffer` is that structure.  It exposes the aggregated series (one
+value per completed pane) for the search routine, evicts panes beyond the
+configured capacity, and keeps per-pane :class:`MomentSketch` state so window
+statistics remain available without raw data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .aggregates import MomentSketch
+
+__all__ = ["Pane", "PaneBuffer"]
+
+
+@dataclass
+class Pane:
+    """One disjoint segment of the stream, pre-aggregated to a single point."""
+
+    start_time: float
+    sketch: MomentSketch = field(default_factory=MomentSketch)
+
+    def update(self, value: float) -> None:
+        self.sketch.update(value)
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    @property
+    def mean(self) -> float:
+        if self.sketch.count == 0:
+            raise ValueError("mean of an empty pane is undefined")
+        return self.sketch.mean
+
+
+class PaneBuffer:
+    """Fixed-capacity ring of panes fed one raw point at a time.
+
+    Parameters
+    ----------
+    pane_size:
+        Raw points per pane — streaming ASAP sets this to the point-to-pixel
+        ratio so each pane is one plotted point (Section 4.5).
+    capacity:
+        Maximum number of *completed* panes retained (the visualized window,
+        e.g. the target resolution in pixels).  Older panes are evicted.
+    """
+
+    def __init__(self, pane_size: int, capacity: int) -> None:
+        if pane_size < 1:
+            raise ValueError(f"pane_size must be >= 1, got {pane_size}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.pane_size = pane_size
+        self.capacity = capacity
+        self._panes: deque[Pane] = deque()
+        self._open: Pane | None = None
+        self._total_points = 0
+        self._evicted_panes = 0
+
+    # -- ingest --------------------------------------------------------------
+
+    def push(self, timestamp: float, value: float) -> Pane | None:
+        """Fold one arrival in; return the pane it *completed*, if any."""
+        if self._open is None:
+            self._open = Pane(start_time=timestamp)
+        self._open.update(value)
+        self._total_points += 1
+        if self._open.count >= self.pane_size:
+            completed = self._open
+            self._open = None
+            self._panes.append(completed)
+            if len(self._panes) > self.capacity:
+                self._panes.popleft()
+                self._evicted_panes += 1
+            return completed
+        return None
+
+    def extend(self, timestamps, values) -> int:
+        """Push a batch; return how many panes were completed."""
+        completed = 0
+        for timestamp, value in zip(timestamps, values):
+            if self.push(float(timestamp), float(value)) is not None:
+                completed += 1
+        return completed
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._panes)
+
+    @property
+    def total_points(self) -> int:
+        """Raw points ever pushed (including evicted and in-flight ones)."""
+        return self._total_points
+
+    @property
+    def evicted_panes(self) -> int:
+        """Completed panes dropped because the buffer exceeded capacity."""
+        return self._evicted_panes
+
+    def aggregated_values(self) -> np.ndarray:
+        """Mean of each completed pane, oldest first — the search's input."""
+        return np.asarray([pane.mean for pane in self._panes], dtype=np.float64)
+
+    def aggregated_timestamps(self) -> np.ndarray:
+        """Start timestamp of each completed pane."""
+        return np.asarray([pane.start_time for pane in self._panes], dtype=np.float64)
+
+    def window_sketch(self) -> MomentSketch:
+        """Merged moments across every completed pane (raw-point statistics)."""
+        merged = MomentSketch()
+        for pane in self._panes:
+            merged.merge(pane.sketch)
+        return merged
+
+    def clear(self) -> None:
+        """Drop all state (e.g. when the visualized range changes)."""
+        self._panes.clear()
+        self._open = None
+        self._total_points = 0
+        self._evicted_panes = 0

@@ -1,0 +1,58 @@
+"""Stream sources: replaying stored series as live-arriving points.
+
+The performance experiments (Figures 10, 11) drive streaming ASAP with
+recorded traces replayed point by point.  :class:`ReplaySource` does exactly
+that; :class:`ChunkedReplaySource` replays in arrival batches, which is how a
+collection agent shipping one scrape interval at a time behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..timeseries.series import TimeSeries
+
+__all__ = ["StreamPoint", "ReplaySource", "ChunkedReplaySource"]
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    """One arrival: a timestamped value."""
+
+    timestamp: float
+    value: float
+
+
+class ReplaySource:
+    """Replay a :class:`TimeSeries` one point at a time."""
+
+    def __init__(self, series: TimeSeries) -> None:
+        self._series = series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[StreamPoint]:
+        for timestamp, value in self._series:
+            yield StreamPoint(timestamp, value)
+
+
+class ChunkedReplaySource:
+    """Replay a series in fixed-size batches (one scrape interval per batch)."""
+
+    def __init__(self, series: TimeSeries, chunk_size: int) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._series = series
+        self.chunk_size = chunk_size
+
+    def __iter__(self) -> Iterator[list[StreamPoint]]:
+        chunk: list[StreamPoint] = []
+        for timestamp, value in self._series:
+            chunk.append(StreamPoint(timestamp, value))
+            if len(chunk) == self.chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk

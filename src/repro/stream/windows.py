@@ -1,0 +1,76 @@
+"""Sliding-window semantics.
+
+A sliding-window aggregate is characterized by its *window* (points per
+window) and *slide* (distance between window starts).  ASAP fixes the slide
+from the target display (Section 3.3: slide = #original points / #desired
+points) and searches only the window, but the substrate supports the general
+case, including the pane-size rule from Li et al.: panes of size
+``gcd(window, slide)`` let window aggregates be assembled from disjoint
+subaggregates with no recomputation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["WindowSpec", "window_starts", "iter_windows", "slide_for_resolution"]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A (window, slide) pair in points."""
+
+    window: int
+    slide: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.slide < 1:
+            raise ValueError(f"slide must be >= 1, got {self.slide}")
+
+    @property
+    def pane_size(self) -> int:
+        """gcd(window, slide): the largest disjoint subaggregate size."""
+        return math.gcd(self.window, self.slide)
+
+    @property
+    def panes_per_window(self) -> int:
+        return self.window // self.pane_size
+
+    def output_length(self, n: int) -> int:
+        """Number of complete windows over a length-*n* series."""
+        if n < self.window:
+            return 0
+        return (n - self.window) // self.slide + 1
+
+
+def window_starts(n: int, spec: WindowSpec) -> np.ndarray:
+    """Start indices of every complete window over a length-*n* series."""
+    count = spec.output_length(n)
+    return spec.slide * np.arange(count, dtype=np.int64)
+
+
+def iter_windows(values, spec: WindowSpec) -> Iterator[np.ndarray]:
+    """Yield each complete window as a view over the input array."""
+    arr = np.asarray(values, dtype=np.float64)
+    for start in window_starts(arr.size, spec):
+        yield arr[start : start + spec.window]
+
+
+def slide_for_resolution(n: int, resolution: int) -> int:
+    """The paper's slide policy: ``#original points / #desired points``.
+
+    Produces at most *resolution* output points; never less than 1.  This is
+    the point-to-pixel ratio that also sizes preaggregation buckets and
+    streaming panes (Sections 3.3, 4.4, 4.5).
+    """
+    if n < 0:
+        raise ValueError(f"series length must be non-negative, got {n}")
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    return max(n // resolution, 1)

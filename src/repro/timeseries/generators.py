@@ -1,0 +1,212 @@
+"""Synthetic time-series generators.
+
+These produce the building blocks — noise, periodicity, trend, anomalies —
+from which :mod:`repro.timeseries.datasets` reconstructs the paper's eleven
+evaluation traces, and which the test suite uses for controlled experiments
+(e.g. the IID analysis of Section 4.2 needs pure white noise; the
+autocorrelation pruning of Section 4.3 needs known-period signals).
+
+Every generator takes an explicit ``seed`` (or a ``numpy.random.Generator``)
+so that datasets, tests, and benchmarks are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = [
+    "rng_from",
+    "white_noise",
+    "laplace_noise",
+    "uniform_noise",
+    "sine_wave",
+    "sawtooth_wave",
+    "square_wave",
+    "linear_trend",
+    "random_walk",
+    "Anomaly",
+    "level_shift",
+    "transient_spike",
+    "amplitude_change",
+    "frequency_change",
+    "SignalSpec",
+    "compose",
+]
+
+
+def rng_from(seed) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# -- primitive signals ------------------------------------------------------
+
+
+def white_noise(n: int, sigma: float = 1.0, seed=0) -> np.ndarray:
+    """IID Gaussian noise with standard deviation *sigma* (kurtosis 3)."""
+    return rng_from(seed).normal(0.0, sigma, size=n)
+
+
+def laplace_noise(n: int, scale: float = 1.0, seed=0) -> np.ndarray:
+    """IID Laplace noise (kurtosis 6) — the heavy-tailed example of Fig. 5."""
+    return rng_from(seed).laplace(0.0, scale, size=n)
+
+
+def uniform_noise(n: int, half_width: float = 1.0, seed=0) -> np.ndarray:
+    """IID uniform noise on [-half_width, half_width] (kurtosis 1.8)."""
+    return rng_from(seed).uniform(-half_width, half_width, size=n)
+
+
+def sine_wave(n: int, period: float, amplitude: float = 1.0, phase: float = 0.0) -> np.ndarray:
+    """A sinusoid with the given period in samples."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    t = np.arange(n, dtype=np.float64)
+    return amplitude * np.sin(2.0 * np.pi * t / period + phase)
+
+
+def sawtooth_wave(n: int, period: float, amplitude: float = 1.0) -> np.ndarray:
+    """A sawtooth ramping from -amplitude to +amplitude each period."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    t = np.arange(n, dtype=np.float64)
+    frac = np.mod(t, period) / period
+    return amplitude * (2.0 * frac - 1.0)
+
+
+def square_wave(n: int, period: float, amplitude: float = 1.0) -> np.ndarray:
+    """A square wave alternating +/- amplitude each half period."""
+    return amplitude * np.sign(sine_wave(n, period) + 1e-12)
+
+
+def linear_trend(n: int, slope: float, intercept: float = 0.0) -> np.ndarray:
+    """A straight line — roughness zero by construction (Figure 4, series C)."""
+    return intercept + slope * np.arange(n, dtype=np.float64)
+
+
+def random_walk(n: int, step_sigma: float = 1.0, seed=0) -> np.ndarray:
+    """Cumulative sum of Gaussian steps — strongly autocorrelated."""
+    steps = rng_from(seed).normal(0.0, step_sigma, size=n)
+    return np.cumsum(steps)
+
+
+# -- anomaly injections -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A ground-truth anomalous region ``[start, end)`` in sample indices.
+
+    The user-study harness (Section 5.1) asks the simulated observer to find
+    this region among five equal-width candidate regions of the plot.
+    """
+
+    start: int
+    end: int
+    kind: str = "anomaly"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid anomaly range [{self.start}, {self.end})")
+
+    @property
+    def center(self) -> float:
+        return (self.start + self.end) / 2.0
+
+    def region_index(self, n: int, regions: int = 5) -> int:
+        """Which of *regions* equal slices of a length-*n* plot contains us."""
+        if n <= 0:
+            raise ValueError("series length must be positive")
+        idx = int(self.center / n * regions)
+        return min(max(idx, 0), regions - 1)
+
+
+def level_shift(values: np.ndarray, start: int, end: int, delta: float) -> np.ndarray:
+    """Add a sustained offset on ``[start, end)`` — e.g. the Thanksgiving dip."""
+    out = np.array(values, dtype=np.float64)
+    out[start:end] += delta
+    return out
+
+
+def transient_spike(values: np.ndarray, at: int, magnitude: float, width: int = 1) -> np.ndarray:
+    """Add a short spike of the given width centered at *at*."""
+    out = np.array(values, dtype=np.float64)
+    lo = max(at - width // 2, 0)
+    hi = min(lo + width, out.size)
+    out[lo:hi] += magnitude
+    return out
+
+
+def amplitude_change(
+    values: np.ndarray, start: int, end: int, factor: float
+) -> np.ndarray:
+    """Scale the signal on ``[start, end)`` — e.g. a taller sine peak."""
+    out = np.array(values, dtype=np.float64)
+    out[start:end] *= factor
+    return out
+
+
+def frequency_change(
+    n: int, period: float, start: int, end: int, period_factor: float, amplitude: float = 1.0
+) -> np.ndarray:
+    """A sinusoid whose period is multiplied by *period_factor* on a region.
+
+    Reconstructs the paper's Sine dataset: "a simulated noisy sine wave with a
+    small region where the period is halved" (Section 5.1.2), using a
+    phase-continuous sweep so the anomaly is a frequency change rather than a
+    jump discontinuity.
+    """
+    if period <= 0 or period_factor <= 0:
+        raise ValueError("period and period_factor must be positive")
+    inst_period = np.full(n, period, dtype=np.float64)
+    inst_period[start:end] = period * period_factor
+    phase = np.cumsum(2.0 * np.pi / inst_period)
+    return amplitude * np.sin(phase)
+
+
+# -- composition ------------------------------------------------------------
+
+
+@dataclass
+class SignalSpec:
+    """Declarative recipe for a composite synthetic series.
+
+    Components are summed; anomalies are applied in order afterwards.  Used by
+    the dataset reconstructions so each trace documents its own structure.
+    """
+
+    n: int
+    components: Sequence[Callable[[int], np.ndarray]] = field(default_factory=list)
+    anomalies: Sequence[tuple[Callable[[np.ndarray], np.ndarray], Anomaly]] = field(
+        default_factory=list
+    )
+    name: str = ""
+
+    def build(self) -> tuple[TimeSeries, list[Anomaly]]:
+        """Realize the recipe into a series plus its ground-truth anomalies."""
+        total = np.zeros(self.n, dtype=np.float64)
+        for component in self.components:
+            part = np.asarray(component(self.n), dtype=np.float64)
+            if part.shape != total.shape:
+                raise ValueError(
+                    f"component produced shape {part.shape}, expected ({self.n},)"
+                )
+            total = total + part
+        marks: list[Anomaly] = []
+        for apply_fn, anomaly in self.anomalies:
+            total = apply_fn(total)
+            marks.append(anomaly)
+        return TimeSeries(total, name=self.name), marks
+
+
+def compose(n: int, *components: Callable[[int], np.ndarray], name: str = "") -> TimeSeries:
+    """Sum independent components into one series (no anomalies)."""
+    series, _ = SignalSpec(n=n, components=list(components), name=name).build()
+    return series

@@ -1,0 +1,81 @@
+"""Reading and writing time series.
+
+ASAP is a modular operator that "can ingest and process raw data from time
+series databases such as InfluxDB, as well as from visualization clients"
+(Section 2).  This module provides the plain-text interchange formats a
+downstream user needs to get data in and out: two-column CSV and line-JSON,
+both with timestamps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .series import TimeSeries
+
+__all__ = ["read_csv", "write_csv", "read_jsonl", "write_jsonl"]
+
+
+def read_csv(path, has_header: bool = True, name: str = "") -> TimeSeries:
+    """Read a ``timestamp,value`` CSV file into a :class:`TimeSeries`.
+
+    Single-column files are interpreted as values with implicit timestamps.
+    """
+    path = Path(path)
+    timestamps: list[float] = []
+    values: list[float] = []
+    single_column = False
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = iter(reader)
+        if has_header:
+            next(rows, None)
+        for row in rows:
+            if not row:
+                continue
+            if len(row) == 1:
+                single_column = True
+                values.append(float(row[0]))
+            else:
+                timestamps.append(float(row[0]))
+                values.append(float(row[1]))
+    if single_column or not timestamps:
+        return TimeSeries(values, name=name or path.stem)
+    return TimeSeries(values, timestamps, name=name or path.stem)
+
+
+def write_csv(series: TimeSeries, path) -> None:
+    """Write a series as ``timestamp,value`` CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "value"])
+        for timestamp, value in series:
+            writer.writerow([repr(timestamp), repr(value)])
+
+
+def read_jsonl(path, name: str = "") -> TimeSeries:
+    """Read line-delimited JSON objects ``{"t": ..., "v": ...}``."""
+    path = Path(path)
+    timestamps: list[float] = []
+    values: list[float] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            timestamps.append(float(record["t"]))
+            values.append(float(record["v"]))
+    return TimeSeries(values, timestamps, name=name or path.stem)
+
+
+def write_jsonl(series: TimeSeries, path) -> None:
+    """Write a series as line-delimited ``{"t": ..., "v": ...}`` objects."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for timestamp, value in series:
+            handle.write(json.dumps({"t": timestamp, "v": value}))
+            handle.write("\n")

@@ -1,0 +1,37 @@
+"""Visualization substrate: rasterization, pixel metrics, reduction baselines."""
+
+from .rasterize import column_extents, pixel_columns, rasterize
+from .pixel_error import pixel_error, raster_difference
+from .m4 import m4_aggregate, m4_series
+from .paa import paa, paa_series
+from .simplify import (
+    douglas_peucker,
+    douglas_peucker_series,
+    visvalingam_whyatt,
+    visvalingam_whyatt_series,
+)
+from .devices import DEVICES, Device, device, reduction_factor
+from .ascii_plot import ascii_chart, side_by_side, sparkline
+
+__all__ = [
+    "column_extents",
+    "pixel_columns",
+    "rasterize",
+    "pixel_error",
+    "raster_difference",
+    "m4_aggregate",
+    "m4_series",
+    "paa",
+    "paa_series",
+    "douglas_peucker",
+    "douglas_peucker_series",
+    "visvalingam_whyatt",
+    "visvalingam_whyatt_series",
+    "DEVICES",
+    "Device",
+    "device",
+    "reduction_factor",
+    "ascii_chart",
+    "side_by_side",
+    "sparkline",
+]

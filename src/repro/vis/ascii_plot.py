@@ -1,0 +1,79 @@
+"""Terminal rendering of time series.
+
+The examples and experiment printers need to *show* plots without a display
+server.  This module renders a series as text: a block-character line chart
+(built on the same rasterizer the pixel metrics use, so what you see is what
+the metrics measure) and one-line sparklines for compact comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.stats import zscore
+from .rasterize import rasterize
+
+__all__ = ["ascii_chart", "sparkline", "side_by_side"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_chart(
+    values,
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    normalize: bool = True,
+) -> str:
+    """Render a series as a multi-line block chart string."""
+    arr = np.asarray(values, dtype=np.float64)
+    if normalize:
+        arr = zscore(arr)
+    grid = rasterize(arr, width, height)
+    rows = ["".join("█" if cell else " " for cell in row) for row in grid]
+    lines = []
+    if title:
+        lines.append(title)
+    top = float(arr.max()) if arr.size else 0.0
+    bottom = float(arr.min()) if arr.size else 0.0
+    lines.append(f"{top:+.2f} ┤" + rows[0])
+    for row in rows[1:-1]:
+        lines.append("      │" + row)
+    if height > 1:
+        lines.append(f"{bottom:+.2f} ┤" + rows[-1])
+    lines.append("      └" + "─" * width)
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render a series as a one-line sparkline of block characters."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Bucket means down to the target width.
+        bounds = (np.arange(width + 1) * arr.size) // width
+        prefix = np.concatenate(([0.0], np.cumsum(arr)))
+        sums = prefix[bounds[1:]] - prefix[bounds[:-1]]
+        counts = (bounds[1:] - bounds[:-1]).astype(np.float64)
+        arr = sums / counts
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def side_by_side(labeled_series, width: int = 60) -> str:
+    """Stack labelled sparklines for quick visual comparison.
+
+    ``labeled_series`` is an iterable of (label, values) pairs.
+    """
+    pairs = list(labeled_series)
+    if not pairs:
+        return ""
+    label_width = max(len(label) for label, _ in pairs)
+    lines = [
+        f"{label:>{label_width}} {sparkline(values, width)}" for label, values in pairs
+    ]
+    return "\n".join(lines)

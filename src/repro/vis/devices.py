@@ -1,0 +1,65 @@
+"""Target-device registry (Table 1).
+
+Pixel-aware preaggregation keys its bucket size to the horizontal resolution
+of the display the plot will land on.  Table 1 lists the devices the paper
+uses to illustrate the search-space reduction on a 1M-point series; this
+registry reproduces those rows and computes the reduction factor for any
+series length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Device", "DEVICES", "device", "reduction_factor"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A display target: name and pixel resolution (horizontal x vertical)."""
+
+    name: str
+    horizontal: int
+    vertical: int
+
+    @property
+    def resolution(self) -> str:
+        return f"{self.horizontal} x {self.vertical}"
+
+
+#: The five devices of Table 1, in paper order.
+DEVICES: tuple[Device, ...] = (
+    Device("38mm Apple Watch", 272, 340),
+    Device("Samsung Galaxy S7", 1440, 2560),
+    Device('13" MacBook Pro', 2304, 1440),
+    Device("Dell 34 Curved Monitor", 3440, 1440),
+    Device('27" iMac Retina', 5120, 2880),
+)
+
+_BY_NAME = {d.name: d for d in DEVICES}
+
+
+def device(name: str) -> Device:
+    """Look up a Table 1 device by exact name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None
+
+
+def reduction_factor(n_points: int, horizontal_resolution: int) -> int:
+    """Search-space reduction from preaggregating *n_points* to a display.
+
+    This is the point-to-pixel ratio ``floor(n / resolution)`` (at least 1):
+    after preaggregation the search operates on ``resolution`` points instead
+    of ``n``, so candidate window sizes shrink by the same factor.  Table 1
+    reports this for ``n = 1_000_000``.
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    if horizontal_resolution < 1:
+        raise ValueError(
+            f"horizontal_resolution must be >= 1, got {horizontal_resolution}"
+        )
+    return max(n_points // horizontal_resolution, 1)

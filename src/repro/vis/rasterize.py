@@ -1,0 +1,144 @@
+"""Rasterizing time series onto pixel grids.
+
+ASAP co-designs its search with the target display: results land on a screen
+with a fixed number of pixel columns (Section 4.4), and its quality
+comparisons against M4/PAA/line simplification are *pixel-level* (Table 4).
+This module renders a series into a boolean pixel matrix the way a line-chart
+renderer would: x is quantized into ``width`` columns, y into ``height`` rows,
+and the polyline connecting consecutive points is drawn with vertical span
+filling so no column the line crosses is left empty.
+
+The same raster feeds the simulated-observer model (the observer "sees" only
+rendered pixels, like the paper's study participants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rasterize", "column_extents", "pixel_columns"]
+
+
+def _normalize(values: np.ndarray, lo: float | None, hi: float | None) -> np.ndarray:
+    vmin = float(values.min()) if lo is None else lo
+    vmax = float(values.max()) if hi is None else hi
+    if vmax <= vmin:
+        return np.full(values.shape, 0.5)
+    return np.clip((values - vmin) / (vmax - vmin), 0.0, 1.0)
+
+
+def pixel_columns(
+    n: int,
+    width: int,
+    positions=None,
+    x_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Map point indices ``0..n-1`` onto column indices ``0..width-1``.
+
+    With *positions* (per-point x coordinates, e.g. original sample indices
+    of a reduced series) the mapping respects the plot's true x axis; with
+    *x_range* the axis limits are pinned so different series render into
+    comparable column spaces.
+    """
+    if n < 1:
+        raise ValueError(f"series must be non-empty, got length {n}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if positions is None:
+        if n == 1:
+            return np.zeros(1, dtype=np.int64)
+        return np.minimum((np.arange(n) * width) // n, width - 1).astype(np.int64)
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.size != n:
+        raise ValueError(f"positions length {pos.size} != series length {n}")
+    if x_range is None:
+        x_lo, x_hi = float(pos.min()), float(pos.max())
+    else:
+        x_lo, x_hi = x_range
+    span = x_hi - x_lo
+    if span <= 0:
+        return np.zeros(n, dtype=np.int64)
+    scaled = (pos - x_lo) / span * width
+    return np.clip(scaled.astype(np.int64), 0, width - 1)
+
+
+def column_extents(
+    values,
+    width: int,
+    positions=None,
+    x_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Per-column (min, max) of the values mapping to each pixel column.
+
+    Returns a ``(width, 2)`` array; columns with no points inherit the
+    linear interpolation between their neighbours, matching what a polyline
+    renderer paints there.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("expected a non-empty 1-D series")
+    cols = pixel_columns(arr.size, width, positions=positions, x_range=x_range)
+    extents = np.full((width, 2), np.nan)
+    for col in range(width):
+        mask = cols == col
+        if np.any(mask):
+            segment = arr[mask]
+            extents[col, 0] = segment.min()
+            extents[col, 1] = segment.max()
+    # Fill empty columns by interpolating between populated neighbours.
+    populated = ~np.isnan(extents[:, 0])
+    if not np.all(populated):
+        idx = np.arange(width)
+        for axis in (0, 1):
+            extents[~populated, axis] = np.interp(
+                idx[~populated], idx[populated], extents[populated, axis]
+            )
+    return extents
+
+
+def rasterize(
+    values,
+    width: int,
+    height: int,
+    value_range: tuple[float, float] | None = None,
+    positions=None,
+    x_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Render a series as a ``(height, width)`` boolean pixel matrix.
+
+    Row 0 is the *top* of the image (screen convention).  ``value_range``
+    fixes the y-axis limits so two series can be rendered into comparable
+    rasters; by default each raster is scaled to its own min/max, which is
+    how a chart with auto-scaled axes behaves.  ``positions``/``x_range``
+    pin the x axis the same way (see :func:`pixel_columns`).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("expected a non-empty 1-D series")
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    extents = column_extents(arr, width, positions=positions, x_range=x_range)
+    if value_range is None:
+        # One shared scale for both extent channels — normalizing mins and
+        # maxes independently would let a column's top land below its bottom.
+        lo, hi = float(extents[:, 0].min()), float(extents[:, 1].max())
+    else:
+        lo, hi = value_range
+    norm_lo = _normalize(extents[:, 0], lo, hi)
+    norm_hi = _normalize(extents[:, 1], lo, hi)
+    # y pixel rows: 0 at top; clamp into range.
+    row_hi = np.clip(((1.0 - norm_lo) * (height - 1)).round().astype(int), 0, height - 1)
+    row_lo = np.clip(((1.0 - norm_hi) * (height - 1)).round().astype(int), 0, height - 1)
+    grid = np.zeros((height, width), dtype=bool)
+    prev_lo = prev_hi = None
+    for col in range(width):
+        lo_px, hi_px = int(row_lo[col]), int(row_hi[col])
+        # Bridge to the previous column the way a polyline stroke does, so
+        # steep segments do not leave vertical gaps between columns.
+        if prev_hi is not None and lo_px > prev_hi:
+            lo_px = prev_hi + 1
+        elif prev_lo is not None and hi_px < prev_lo:
+            hi_px = prev_lo - 1
+        grid[lo_px : hi_px + 1, col] = True
+        prev_lo, prev_hi = int(row_lo[col]), int(row_hi[col])
+    return grid

@@ -1,0 +1,149 @@
+"""Line-simplification algorithms used as visualization baselines.
+
+The user studies compare ASAP against the Visvalingam–Whyatt algorithm
+("simp" in Figure 6) and the related-work discussion covers Douglas–Peucker.
+Both reduce a polyline to a subset of its own vertices — again aiming for a
+faithful, not a smoothed, rendering.
+
+* Visvalingam–Whyatt: repeatedly remove the interior point whose "effective
+  area" (the triangle formed with its neighbours) is smallest, until the
+  target point count remains.  Implemented with a lazy min-heap plus a
+  doubly-linked neighbour list, O(n log n).
+* Douglas–Peucker: keep the point farthest from the current chord if beyond
+  a tolerance, recursing on both halves.  Implemented iteratively with an
+  explicit stack to survive long series.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..timeseries.series import TimeSeries
+
+__all__ = [
+    "visvalingam_whyatt",
+    "visvalingam_whyatt_series",
+    "douglas_peucker",
+    "douglas_peucker_series",
+]
+
+
+def _triangle_area(x: np.ndarray, y: np.ndarray, a: int, b: int, c: int) -> float:
+    """Twice-signed-area magnitude of triangle (a, b, c) over (x, y) points."""
+    return abs(
+        (x[b] - x[a]) * (y[c] - y[a]) - (x[c] - x[a]) * (y[b] - y[a])
+    ) / 2.0
+
+
+def visvalingam_whyatt(x, y, target_points: int) -> np.ndarray:
+    """Indices of the points kept after simplifying down to *target_points*.
+
+    Endpoints are always kept.  Removal order follows ascending effective
+    area with the standard monotone-area fix: a neighbour's recomputed area
+    is floored at the area of the point just removed, preventing removal
+    order inversions.
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    n = xs.size
+    if target_points < 2:
+        raise ValueError(f"target_points must be >= 2, got {target_points}")
+    if n <= target_points:
+        return np.arange(n, dtype=np.int64)
+
+    prev = np.arange(-1, n - 1, dtype=np.int64)
+    nxt = np.arange(1, n + 1, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    current_area = np.full(n, np.inf)
+    heap: list[tuple[float, int]] = []
+    for i in range(1, n - 1):
+        area = _triangle_area(xs, ys, i - 1, i, i + 1)
+        current_area[i] = area
+        heap.append((area, i))
+    heapq.heapify(heap)
+
+    remaining = n
+    floor_area = 0.0
+    while remaining > target_points and heap:
+        area, i = heapq.heappop(heap)
+        if not alive[i] or area != current_area[i]:
+            continue  # stale heap entry
+        alive[i] = False
+        remaining -= 1
+        floor_area = max(floor_area, area)
+        p, q = prev[i], nxt[i]
+        nxt[p], prev[q] = q, p
+        for j in (p, q):
+            if 0 < j < n - 1 and alive[j]:
+                recomputed = _triangle_area(xs, ys, prev[j], j, nxt[j])
+                recomputed = max(recomputed, floor_area)
+                current_area[j] = recomputed
+                heapq.heappush(heap, (recomputed, j))
+    return np.nonzero(alive)[0].astype(np.int64)
+
+
+def visvalingam_whyatt_series(series: TimeSeries, target_points: int) -> TimeSeries:
+    """Simplify a :class:`TimeSeries` to approximately *target_points* points."""
+    kept = visvalingam_whyatt(series.timestamps, series.values, target_points)
+    return TimeSeries(
+        series.values[kept],
+        series.timestamps[kept],
+        name=f"{series.name}:vw({target_points})",
+    )
+
+
+def _perpendicular_distances(
+    xs: np.ndarray, ys: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Distances of interior points lo+1..hi-1 from the chord (lo, hi)."""
+    x0, y0 = xs[lo], ys[lo]
+    x1, y1 = xs[hi], ys[hi]
+    dx, dy = x1 - x0, y1 - y0
+    seg_len = np.hypot(dx, dy)
+    px = xs[lo + 1 : hi]
+    py = ys[lo + 1 : hi]
+    if seg_len == 0.0:
+        return np.hypot(px - x0, py - y0)
+    return np.abs(dy * px - dx * py + x1 * y0 - y1 * x0) / seg_len
+
+
+def douglas_peucker(x, y, tolerance: float) -> np.ndarray:
+    """Indices kept by Douglas–Peucker at the given distance *tolerance*."""
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    n = xs.size
+    if n <= 2:
+        return np.arange(n, dtype=np.int64)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        distances = _perpendicular_distances(xs, ys, lo, hi)
+        split = int(np.argmax(distances))
+        if distances[split] > tolerance:
+            mid = lo + 1 + split
+            keep[mid] = True
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+    return np.nonzero(keep)[0].astype(np.int64)
+
+
+def douglas_peucker_series(series: TimeSeries, tolerance: float) -> TimeSeries:
+    """Simplify a :class:`TimeSeries` with Douglas–Peucker."""
+    kept = douglas_peucker(series.timestamps, series.values, tolerance)
+    return TimeSeries(
+        series.values[kept],
+        series.timestamps[kept],
+        name=f"{series.name}:dp({tolerance:g})",
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Datasets are loaded at reduced scale (structure preserved, cost bounded) and
+cached per session; noise fixtures are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import load
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def taxi_small():
+    """Taxi reconstruction at ~1/4 scale (daily/weekly structure intact)."""
+    return load("taxi", scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def sine_dataset():
+    """The Sine dataset at full scale (it is only 800 points)."""
+    return load("sine")
+
+
+@pytest.fixture(scope="session")
+def white_noise_series(rng):
+    """Pure IID Gaussian noise — the Section 4.2 analysis setting."""
+    return rng.normal(0.0, 1.0, size=4000)
+
+
+@pytest.fixture(scope="session")
+def periodic_series(rng):
+    """Known-period sinusoid plus noise — the Section 4.3 setting."""
+    t = np.arange(2400, dtype=np.float64)
+    return np.sin(2 * np.pi * t / 60) + 0.3 * rng.normal(size=t.size)

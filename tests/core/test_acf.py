@@ -1,0 +1,105 @@
+"""Tests for autocorrelation analysis and peak detection (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acf import (
+    ACFAnalysis,
+    analyze_acf,
+    autocorrelation,
+    autocorrelation_bruteforce,
+    default_max_lag,
+    find_acf_peaks,
+)
+
+
+class TestEstimator:
+    def test_fft_matches_bruteforce(self, periodic_series):
+        fft_acf = autocorrelation(periodic_series, max_lag=200)
+        brute = autocorrelation_bruteforce(periodic_series, max_lag=200)
+        np.testing.assert_allclose(fft_acf, brute, atol=1e-9)
+
+    def test_native_fft_backend_matches_numpy_backend(self, periodic_series):
+        native = autocorrelation(periodic_series[:512], max_lag=60, backend="native")
+        via_numpy = autocorrelation(periodic_series[:512], max_lag=60, backend="numpy")
+        np.testing.assert_allclose(native, via_numpy, atol=1e-8)
+
+    def test_lag_zero_is_one(self, white_noise_series):
+        acf = autocorrelation(white_noise_series, max_lag=10)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_white_noise_has_no_structure(self, white_noise_series):
+        acf = autocorrelation(white_noise_series, max_lag=50)
+        assert np.max(np.abs(acf[1:])) < 0.1
+
+    def test_sine_peaks_at_period(self):
+        t = np.arange(1000, dtype=np.float64)
+        wave = np.sin(2 * np.pi * t / 50)
+        acf = autocorrelation(wave, max_lag=120)
+        assert acf[50] == pytest.approx(1.0, abs=0.05)
+        assert acf[100] == pytest.approx(1.0, abs=0.1)
+        assert acf[25] == pytest.approx(-1.0, abs=0.05)
+
+    def test_constant_series_degrades_safely(self):
+        acf = autocorrelation(np.full(100, 3.0), max_lag=10)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_default_max_lag_is_tenth(self):
+        assert default_max_lag(1000) == 100
+        assert default_max_lag(10) == 2
+
+    def test_lag_bounds_validated(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(10), max_lag=10)
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(1), max_lag=0)
+
+
+class TestPeakDetection:
+    def test_finds_period_multiples(self):
+        t = np.arange(2000, dtype=np.float64)
+        wave = np.sin(2 * np.pi * t / 40)
+        acf = autocorrelation(wave, max_lag=200)
+        peaks, max_acf = find_acf_peaks(acf)
+        assert peaks, "expected peaks on a pure sinusoid"
+        for peak in peaks:
+            assert min(peak % 40, 40 - peak % 40) <= 2
+        assert max_acf > 0.9
+
+    def test_no_peaks_on_noise(self, white_noise_series):
+        acf = autocorrelation(white_noise_series, max_lag=100)
+        peaks, max_acf = find_acf_peaks(acf)
+        assert peaks == []
+        assert max_acf == 0.0
+
+    def test_threshold_filters_weak_peaks(self, periodic_series):
+        acf = autocorrelation(periodic_series, max_lag=200)
+        strict, _ = find_acf_peaks(acf, threshold=0.99)
+        lax, _ = find_acf_peaks(acf, threshold=0.1)
+        assert len(strict) <= len(lax)
+
+
+class TestAnalysis:
+    def test_analysis_bundles_everything(self, periodic_series):
+        analysis = analyze_acf(periodic_series, max_lag=200)
+        assert isinstance(analysis, ACFAnalysis)
+        assert analysis.is_periodic
+        assert analysis.max_lag == 200
+        assert analysis.correlations.size == 201
+
+    def test_aperiodic_flag(self, white_noise_series):
+        analysis = analyze_acf(white_noise_series)
+        assert not analysis.is_periodic
+
+    def test_correlation_at_clamps(self, periodic_series):
+        analysis = analyze_acf(periodic_series, max_lag=50)
+        assert analysis.correlation_at(1_000_000) == 0.0
+        with pytest.raises(ValueError):
+            analysis.correlation_at(-1)
+
+    def test_max_lag_clamped_to_series(self):
+        analysis = analyze_acf(np.arange(10.0), max_lag=50)
+        assert analysis.max_lag == 9

@@ -1,0 +1,88 @@
+"""Tests for ASAP's quality metrics and closed-form estimates (Sections 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    estimate_is_rougher,
+    kurtosis_iid,
+    roughness_estimate,
+    roughness_iid,
+)
+from repro.core.acf import autocorrelation
+from repro.spectral.convolution import sma
+from repro.timeseries.stats import kurtosis, roughness, std
+
+
+class TestEquation2:
+    def test_iid_roughness_matches_prediction(self, white_noise_series):
+        # Equation 2: roughness(SMA(X, w)) = sqrt(2) * sigma / w for IID X.
+        sigma = std(white_noise_series)
+        for window in (2, 5, 10, 40):
+            predicted = roughness_iid(sigma, window)
+            observed = roughness(sma(white_noise_series, window))
+            assert observed == pytest.approx(predicted, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roughness_iid(-1.0, 2)
+        with pytest.raises(ValueError):
+            roughness_iid(1.0, 0)
+
+
+class TestEquation4:
+    def test_kurtosis_moves_toward_three(self):
+        assert kurtosis_iid(9.0, 3) == pytest.approx(5.0)
+        assert kurtosis_iid(1.8, 2) == pytest.approx(2.4)
+        assert kurtosis_iid(3.0, 100) == pytest.approx(3.0)
+
+    def test_iid_kurtosis_empirical(self, rng):
+        # Laplace noise (kurt 6) averaged over disjoint windows of w should
+        # land near 3 + 3/w.
+        values = rng.laplace(0.0, 1.0, size=200_000)
+        window = 4
+        disjoint = values.reshape(-1, window).mean(axis=1)
+        assert kurtosis(disjoint) == pytest.approx(kurtosis_iid(6.0, window), abs=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kurtosis_iid(3.0, 0)
+
+
+class TestEquation5:
+    def test_estimate_tracks_truth_on_periodic_data(self, periodic_series):
+        # Figure A.1's claim, on a controlled series: error around 1-2%.
+        sigma = std(periodic_series)
+        n = periodic_series.size
+        acf = autocorrelation(periodic_series, max_lag=130)
+        for window in (10, 30, 60, 90, 120):
+            predicted = roughness_estimate(sigma, n, window, float(acf[window]))
+            observed = roughness(sma(periodic_series, window))
+            assert predicted == pytest.approx(observed, rel=0.05)
+
+    def test_radicand_clamped(self):
+        # Extreme autocorrelation can push the radicand negative; clamp to 0.
+        assert roughness_estimate(1.0, 100, 50, 0.99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roughness_estimate(-1.0, 10, 2, 0.0)
+        with pytest.raises(ValueError):
+            roughness_estimate(1.0, 10, 10, 0.0)
+
+
+class TestIsRougher:
+    def test_same_acf_prefers_larger_window(self):
+        # With equal autocorrelation, the larger window is always smoother.
+        assert estimate_is_rougher(10, 0.5, 20, 0.5)
+        assert not estimate_is_rougher(20, 0.5, 10, 0.5)
+
+    def test_high_acf_can_beat_larger_window(self):
+        # A small window at a strong ACF peak can beat a large window off-peak.
+        assert not estimate_is_rougher(10, 0.999, 20, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_is_rougher(0, 0.5, 10, 0.5)

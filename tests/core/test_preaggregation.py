@@ -1,0 +1,72 @@
+"""Tests for pixel-aware preaggregation (Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preaggregation import point_to_pixel_ratio, preaggregate
+
+
+class TestRatio:
+    def test_paper_example(self):
+        # Section 4.4: one week of 1 Hz data on a Retina MBP -> ratio 262.
+        assert point_to_pixel_ratio(604_800, 2304) == 262
+
+    def test_floor_of_one(self):
+        assert point_to_pixel_ratio(100, 800) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            point_to_pixel_ratio(-1, 10)
+        with pytest.raises(ValueError):
+            point_to_pixel_ratio(10, 0)
+
+
+class TestPreaggregate:
+    def test_bucket_means(self):
+        values = np.arange(12.0)
+        result = preaggregate(values, 3)
+        assert result.ratio == 4
+        assert np.array_equal(result.values, [1.5, 5.5, 9.5])
+        assert result.applied
+
+    def test_small_series_untouched(self):
+        values = np.arange(100.0)
+        result = preaggregate(values, 80)  # 100 < 2*80
+        assert result.ratio == 1
+        assert not result.applied
+        assert np.array_equal(result.values, values)
+
+    def test_threshold_is_twice_resolution(self):
+        assert not preaggregate(np.arange(159.0), 80).applied
+        assert preaggregate(np.arange(160.0), 80).applied
+
+    def test_partial_trailing_bucket_dropped(self):
+        values = np.arange(10.0)
+        result = preaggregate(values, 4)  # ratio 2, buckets 5
+        assert result.values.size == 5
+        result = preaggregate(np.arange(11.0), 4)  # ratio 2, 5 full buckets
+        assert result.values.size == 5
+
+    def test_window_unit_translation(self):
+        result = preaggregate(np.arange(1000.0), 100)
+        assert result.ratio == 10
+        assert result.window_in_original_units(7) == 70
+
+    def test_output_near_resolution(self):
+        for n in (10_000, 54_321, 100_000):
+            result = preaggregate(np.random.default_rng(0).normal(size=n), 800)
+            assert 800 <= result.values.size <= 1600
+
+    def test_mean_preserved(self, rng):
+        values = rng.normal(size=1000)
+        result = preaggregate(values, 100)
+        kept = values[: result.values.size * result.ratio]
+        assert result.values.mean() == pytest.approx(kept.mean())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preaggregate(np.ones(10), 0)
+        with pytest.raises(ValueError):
+            preaggregate(np.ones((2, 5)), 2)

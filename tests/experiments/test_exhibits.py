@@ -1,0 +1,222 @@
+"""Smoke and contract tests for every experiment regenerator.
+
+Each exhibit must run at reduced scale, return structured rows, and format
+into the table the paper reports.  Anchored assertions check the headline
+findings survive even at test scale where meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXHIBITS,
+    casestudies,
+    fig6_user_study,
+    fig7_preference,
+    fig8_strategies,
+    fig9_preagg,
+    fig10_streaming,
+    fig11_factor,
+    figa1_estimate,
+    figa3_linear_algos,
+    figb1_sensitivity,
+    figb2_filters,
+    table1_devices,
+    table2_datasets,
+    table4_pixel_error,
+)
+
+
+class TestTable1:
+    def test_exact_reductions(self):
+        rows = table1_devices.run()
+        measured = {row.device.name: row.reduction for row in rows}
+        assert measured["38mm Apple Watch"] == 3676
+        assert measured['27" iMac Retina'] == 195
+
+    def test_format(self):
+        text = table1_devices.format_result(table1_devices.run())
+        assert "Table 1" in text
+        assert "3676x" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_datasets.run(scale=0.3, dataset_names=("taxi", "temp", "twitter_aapl"))
+
+    def test_rows_structured(self, rows):
+        assert len(rows) == 3
+        for row in rows:
+            assert row.candidates_asap <= row.candidates_exhaustive
+
+    def test_twitter_unsmoothed(self, rows):
+        twitter = next(r for r in rows if r.info.name == "twitter_aapl")
+        assert twitter.window_asap == 1
+
+    def test_format(self, rows):
+        text = table2_datasets.format_result(rows)
+        assert "mean candidates" in text
+
+
+class TestFig6And7:
+    def test_fig6_runs_and_formats(self):
+        cells = fig6_user_study.run(trials_per_cell=6)
+        assert len(cells) == 5 * 7
+        text = fig6_user_study.format_result(cells)
+        assert "accuracy" in text.lower()
+        summary = fig6_user_study.summarize(cells)
+        assert set(summary) == set(
+            ("ASAP", "Original", "M4", "simp", "PAA800", "PAA100", "Oversmooth")
+        )
+
+    def test_fig7_runs_and_formats(self):
+        shares = fig7_preference.run(n_participants=6)
+        text = fig7_preference.format_result(shares)
+        assert "preference" in text.lower()
+        for per_dataset in shares.values():
+            assert sum(per_dataset.values()) == pytest.approx(1.0)
+
+
+class TestFig8:
+    def test_cells_and_format(self):
+        cells = fig8_strategies.run(
+            resolutions=(400,), dataset_names=("taxi", "sine"), scale=1.0, repeats=1
+        )
+        assert len(cells) == 4
+        for cell in cells:
+            assert cell.speedup > 0
+            assert cell.roughness_ratio > 0
+        text = fig8_strategies.format_result(cells)
+        assert "speed-up" in text
+
+    def test_asap_quality_near_exhaustive(self):
+        cells = fig8_strategies.run(
+            resolutions=(1200,), dataset_names=("taxi",), scale=1.0, repeats=1
+        )
+        asap = next(c for c in cells if c.strategy == "asap")
+        assert asap.roughness_ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestFig9:
+    def test_configurations_ordered(self):
+        cells = fig9_preagg.run(resolutions=(400,), dataset_names=("taxi",), scale=1.0)
+        by_config = {c.configuration: c for c in cells}
+        assert by_config["Exhaustive"].speedup == pytest.approx(1.0)
+        assert by_config["ASAP"].speedup > by_config["Exhaustive"].speedup
+        text = fig9_preagg.format_result(cells)
+        assert "Figure 9" in text
+
+    def test_dataset_rows(self):
+        rows = fig9_preagg.run_datasets(dataset_names=("taxi",), resolution=400, scale=1.0)
+        assert rows[0].throughput["ASAP"] > rows[0].throughput["Exhaustive"]
+        assert "A.2" in fig9_preagg.format_datasets(rows)
+
+
+class TestFig10:
+    def test_throughput_increases_with_interval(self):
+        cells = fig10_streaming.run(
+            dataset_names=("machine_temp",),
+            intervals=(1, 32),
+            scale=0.15,
+            time_budget=0.4,
+        )
+        by_interval = {c.refresh_interval: c for c in cells}
+        assert by_interval[32].throughput > by_interval[1].throughput
+        slope = fig10_streaming.fit_loglog_slope(cells, "machine_temp")
+        assert slope > 0.3
+        assert "Figure 10" in fig10_streaming.format_result(cells)
+
+
+class TestFig11:
+    def test_factor_and_lesion(self):
+        cells = fig11_factor.run(
+            resolutions=(500,), scale=0.15, time_budget=0.3
+        )
+        labels = {c.config.label for c in cells}
+        assert {"Baseline", "+Pixel", "+AC", "+Lazy", "ASAP"} <= labels
+        by_label = {c.config.label: c for c in cells}
+        assert by_label["+Lazy"].throughput > by_label["Baseline"].throughput
+        assert "factor analysis" in fig11_factor.format_result(cells)
+
+
+class TestFigA1:
+    def test_estimate_accuracy(self):
+        points = figa1_estimate.run()
+        # The paper's Figure A.1 claim: errors within ~1.2%.
+        assert figa1_estimate.max_error_percent(points) < 3.0
+        assert "A.1" in figa1_estimate.format_result(points)
+
+
+class TestFigA3:
+    def test_runtimes_positive(self):
+        rows = figa3_linear_algos.run(
+            dataset_names=("taxi", "sine"), scale=1.0, repeats=1
+        )
+        for row in rows:
+            assert row.asap_ms > 0
+            assert row.paa_ms > 0
+            assert row.m4_ms > 0
+        assert "A.3" in figa3_linear_algos.format_result(rows)
+
+
+class TestTable4:
+    def test_m4_preserves_asap_distorts(self):
+        rows = table4_pixel_error.run(dataset_names=("sine", "taxi"))
+        for row in rows:
+            assert row.errors["M4"] < row.errors["ASAP"] or row.errors["ASAP"] == 0.0
+        assert "Table 4" in table4_pixel_error.format_result(rows)
+
+
+class TestFigB1:
+    def test_variants_run(self):
+        variants = (
+            figb1_sensitivity.VARIANTS[0],  # ASAP
+            figb1_sensitivity.VARIANTS[1],  # 8x roughness
+            figb1_sensitivity.VARIANTS[5],  # k0.5
+        )
+        cells = figb1_sensitivity.run(
+            dataset_names=("sine",), variants=variants, trials_per_cell=6
+        )
+        assert len(cells) == 3
+        assert all(c.window >= 1 for c in cells)
+        assert "B.1" in figb1_sensitivity.format_result(cells)
+
+
+class TestFigB2:
+    def test_minmax_rougher_than_sma(self):
+        cells = figb2_filters.run(dataset_names=("sine",))
+        by_filter = {c.filter_name: c for c in cells}
+        assert by_filter["minmax"].ratio_vs_sma > 1.0
+        assert by_filter["FFT-dominant"].ratio_vs_sma > 1.0
+        assert "B.2" in figb2_filters.format_result(cells)
+
+
+class TestCaseStudies:
+    def test_render_all(self):
+        text = casestudies.render_all(scale=0.1, width=32)
+        assert "Figure 1" in text
+        assert "Figure C.1" in text
+
+    def test_twitter_left_unsmoothed(self):
+        study = casestudies.figure_c1(scale=0.5)
+        assert "unsmoothed" in study.plots[1][0]
+
+
+class TestRegistry:
+    def test_all_exhibits_registered(self):
+        expected = {
+            "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "figa1", "figa2", "figa3", "table4", "figb1", "figb2",
+            "casestudies",
+        }
+        assert expected == set(EXHIBITS)
+
+    def test_cli_table1(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

@@ -1,0 +1,121 @@
+"""Tests for the simulated-observer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception.observer import Observer, extract_percept, region_saliency
+
+
+def series_with_dip(n=4000, dip_region=3, regions=5, noise=0.0, seed=0):
+    """Flat series with a sustained dip centered in one region."""
+    rng = np.random.default_rng(seed)
+    values = np.zeros(n) + noise * rng.normal(size=n)
+    width = n // regions
+    start = dip_region * width + width // 4
+    values[start : start + width // 2] -= 3.0
+    return values
+
+
+class TestPercept:
+    def test_shapes(self, rng):
+        percept = extract_percept(rng.normal(size=500), width=100, height=40)
+        assert percept.centroid.shape == (100,)
+        assert percept.extent.shape == (100,)
+        assert percept.width == 100
+
+    def test_centroid_in_unit_range(self, rng):
+        percept = extract_percept(rng.normal(size=500), width=60, height=30)
+        assert np.all(percept.centroid >= 0.0)
+        assert np.all(percept.centroid <= 1.0)
+
+    def test_flat_series_mid_centroid_zero_extent(self):
+        percept = extract_percept(np.full(100, 5.0), width=20, height=21)
+        assert np.allclose(percept.extent, 0.0)
+        assert np.allclose(percept.centroid, 0.5, atol=0.05)
+
+
+class TestSaliency:
+    def test_dip_region_most_salient(self):
+        saliency = region_saliency(series_with_dip(), regions=5)
+        assert int(np.argmax(saliency)) == 3
+
+    def test_noise_hides_the_dip(self):
+        # The core perceptual claim: adding high-frequency noise reduces the
+        # dip's contrast-to-noise margin.
+        clean = region_saliency(series_with_dip(noise=0.0))
+        noisy = region_saliency(series_with_dip(noise=2.0))
+
+        def margin(s):
+            others = np.delete(s, 3)
+            return s[3] - others.max()
+
+        assert margin(clean) > margin(noisy)
+
+    def test_positions_shift_region_attribution(self):
+        values = series_with_dip()
+        # Shifting all positions right by one region moves the saliency peak.
+        n = values.size
+        positions = np.arange(n) + n / 5.0
+        shifted = region_saliency(values, positions=positions, x_range=(0.0, float(n - 1)))
+        assert int(np.argmax(shifted)) == 4
+
+    def test_needs_two_regions(self):
+        with pytest.raises(ValueError):
+            region_saliency(np.ones(10), regions=1)
+
+
+class TestObserverChoice:
+    def test_accurate_on_clear_signal(self):
+        observer = Observer(seed=1)
+        values = series_with_dip()
+        correct = sum(observer.identify(values, 3).correct for _ in range(40))
+        assert correct >= 30
+
+    def test_near_chance_on_pure_noise(self, rng):
+        observer = Observer(seed=2)
+        values = rng.normal(size=4000)
+        correct = sum(observer.identify(values, 3).correct for _ in range(60))
+        assert correct <= 30  # chance is 12/60
+
+    def test_response_time_faster_with_clear_signal(self, rng):
+        observer_clear = Observer(seed=3)
+        observer_noisy = Observer(seed=3)
+        clear_rt = np.mean(
+            [observer_clear.identify(series_with_dip(), 3).response_time for _ in range(20)]
+        )
+        noisy_rt = np.mean(
+            [observer_noisy.identify(rng.normal(size=4000), 3).response_time for _ in range(20)]
+        )
+        assert clear_rt < noisy_rt
+
+    def test_deterministic_given_seed(self):
+        values = series_with_dip(noise=1.0)
+        a = [Observer(seed=9).identify(values, 3).chosen_region for _ in range(1)]
+        b = [Observer(seed=9).identify(values, 3).chosen_region for _ in range(1)]
+        assert a == b
+
+    def test_full_lapse_is_uniform(self):
+        observer = Observer(lapse_rate=0.999, seed=4)
+        values = series_with_dip()
+        chosen = {observer.identify(values, 3).chosen_region for _ in range(100)}
+        assert len(chosen) >= 4  # guessing spreads across regions
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Observer(temperature=0.0)
+        with pytest.raises(ValueError):
+            Observer(lapse_rate=1.0)
+
+
+class TestPreference:
+    def test_prefers_plot_with_visible_anomaly(self):
+        clear = series_with_dip(noise=0.0)
+        hidden = series_with_dip(noise=3.0, seed=1)
+        observer = Observer(seed=5)
+        votes = [
+            observer.prefer([(hidden, None), (clear, None)], true_region=3)
+            for _ in range(30)
+        ]
+        assert sum(v == 1 for v in votes) >= 24

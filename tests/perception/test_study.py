@@ -1,0 +1,98 @@
+"""Tests for the user-study harnesses (small cohorts for speed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception.study import (
+    PREFERENCE_VISUALIZATIONS,
+    StudyConfig,
+    VISUALIZATIONS,
+    anomaly_identification_study,
+    preference_study,
+    render_visualization,
+)
+from repro.timeseries import load
+
+
+class TestRenderVisualization:
+    @pytest.mark.parametrize("name", VISUALIZATIONS)
+    def test_every_technique_renders(self, name):
+        values = load("sine").series.values
+        plot = render_visualization(name, values)
+        assert plot.values.size > 0
+        assert plot.positions.shape == plot.values.shape
+        assert np.all(np.isfinite(plot.values))
+
+    def test_original_is_identity(self):
+        values = load("sine").series.values
+        plot = render_visualization("Original", values)
+        assert np.array_equal(plot.values, values)
+
+    def test_paa100_has_100_points(self):
+        values = load("taxi", scale=0.5).series.values
+        assert render_visualization("PAA100", values).values.size == 100
+
+    def test_asap_positions_centered(self):
+        values = load("sine").series.values
+        plot = render_visualization("ASAP", values)
+        # Window centering: first display position is (w-1)/2 >= 0.
+        assert plot.positions[0] >= 0.0
+        assert plot.positions[-1] <= values.size
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError):
+            render_visualization("Hologram", np.ones(100))
+
+
+class TestStudyI:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = StudyConfig(trials_per_cell=12, seed=3)
+        return anomaly_identification_study(
+            dataset_names=("taxi", "sine"),
+            visualizations=("ASAP", "Original", "Oversmooth"),
+            config=config,
+        )
+
+    def test_grid_is_complete(self, results):
+        assert len(results) == 6
+        keys = {(c.dataset, c.visualization) for c in results}
+        assert ("taxi", "ASAP") in keys
+
+    def test_metrics_in_range(self, results):
+        for cell in results:
+            assert 0.0 <= cell.accuracy <= 1.0
+            assert cell.mean_response_time > 0.0
+            assert cell.trials == 12
+
+    def test_asap_beats_original(self, results):
+        by_key = {(c.dataset, c.visualization): c for c in results}
+        asap_mean = np.mean([by_key[(d, "ASAP")].accuracy for d in ("taxi", "sine")])
+        orig_mean = np.mean([by_key[(d, "Original")].accuracy for d in ("taxi", "sine")])
+        assert asap_mean > orig_mean
+
+    def test_performance_only_dataset_rejected(self):
+        with pytest.raises(ValueError, match="no ground-truth anomaly"):
+            anomaly_identification_study(
+                dataset_names=("traffic_data",),
+                visualizations=("ASAP",),
+                config=StudyConfig(trials_per_cell=1),
+            )
+
+
+class TestStudyII:
+    def test_shares_sum_to_one(self):
+        shares = preference_study(
+            dataset_names=("sine",), n_participants=10, config=StudyConfig(seed=5)
+        )
+        assert set(shares) == {"sine"}
+        assert sum(shares["sine"].values()) == pytest.approx(1.0)
+        assert set(shares["sine"]) == set(PREFERENCE_VISUALIZATIONS)
+
+    def test_asap_preferred_on_sine(self):
+        shares = preference_study(
+            dataset_names=("sine",), n_participants=16, config=StudyConfig(seed=5)
+        )
+        assert shares["sine"]["ASAP"] == max(shares["sine"].values())

@@ -1,0 +1,113 @@
+"""Tests for the from-scratch FFT against numpy and a textbook DFT oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral.fft import (
+    dft_reference,
+    fft,
+    ifft,
+    is_power_of_two,
+    next_fast_len,
+    rfft_autocorrelation_lengths,
+)
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_next_fast_len(self):
+        assert next_fast_len(1) == 1
+        assert next_fast_len(5) == 8
+        assert next_fast_len(16) == 16
+
+    def test_autocorrelation_padding_at_least_2n(self):
+        for n in (3, 8, 100):
+            assert rfft_autocorrelation_lengths(n) >= 2 * n
+
+    def test_autocorrelation_padding_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rfft_autocorrelation_lengths(0)
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_power_of_two_real(self, n, rng):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 12, 100, 321])
+    def test_bluestein_arbitrary_sizes(self, n, rng):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    @pytest.mark.parametrize("n", [4, 9, 30])
+    def test_complex_input(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    @pytest.mark.parametrize("n", [2, 6, 16, 51])
+    def test_ifft_matches_numpy(self, n, rng):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(ifft(x), np.fft.ifft(x), atol=1e-9)
+
+    def test_numpy_backend_passthrough(self, rng):
+        x = rng.normal(size=33)
+        np.testing.assert_allclose(fft(x, backend="numpy"), np.fft.fft(x))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            fft([1.0], backend="mystery")
+        with pytest.raises(ValueError, match="backend"):
+            ifft([1.0], backend="mystery")
+
+
+class TestOracle:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_against_textbook_dft(self, n, rng):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), dft_reference(x), atol=1e-9)
+
+
+class TestProperties:
+    def test_empty_input(self):
+        assert fft([]).size == 0
+        assert ifft([]).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            fft(np.ones((2, 2)))
+
+    def test_dc_component_is_sum(self, rng):
+        x = rng.normal(size=17)
+        assert fft(x)[0] == pytest.approx(np.sum(x), abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**31))
+    def test_round_trip(self, n, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        np.testing.assert_allclose(np.real(ifft(fft(x))), x, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=48), st.integers(min_value=0, max_value=2**31))
+    def test_parseval(self, n, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        spectrum = fft(x)
+        assert np.sum(np.abs(spectrum) ** 2) / n == pytest.approx(
+            np.sum(x * x), rel=1e-9
+        )
+
+    def test_linearity(self, rng):
+        x = rng.normal(size=24)
+        y = rng.normal(size=24)
+        np.testing.assert_allclose(
+            fft(2.0 * x + 3.0 * y), 2.0 * fft(x) + 3.0 * fft(y), atol=1e-8
+        )

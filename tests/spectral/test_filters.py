@@ -1,0 +1,141 @@
+"""Tests for the alternative smoothing filters (Appendix B.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spectral.filters import (
+    fft_dominant,
+    fft_lowpass,
+    filter_registry,
+    minmax_filter,
+    savitzky_golay,
+    savitzky_golay_kernel,
+)
+
+
+class TestSavitzkyGolay:
+    def test_kernel_sums_to_one(self):
+        for window, degree in ((5, 1), (7, 2), (11, 4)):
+            assert savitzky_golay_kernel(window, degree).sum() == pytest.approx(1.0)
+
+    def test_degree_zero_is_uniform(self):
+        kernel = savitzky_golay_kernel(5, 0)
+        np.testing.assert_allclose(kernel, np.full(5, 0.2), atol=1e-12)
+
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4])
+    def test_reproduces_polynomials_exactly(self, degree):
+        # The defining property: a degree-d SG filter passes degree-d
+        # polynomials through unchanged.
+        t = np.arange(50.0)
+        poly = sum(c * t**k for k, c in enumerate(np.linspace(0.5, 1.5, degree + 1)))
+        window = 2 * degree + 3
+        smoothed = savitzky_golay(poly, window, degree)
+        half = window // 2
+        np.testing.assert_allclose(smoothed, poly[half : 50 - half], rtol=1e-8)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            savitzky_golay_kernel(4, 1)  # even window
+        with pytest.raises(ValueError):
+            savitzky_golay_kernel(5, 5)  # degree >= window
+
+    def test_output_length_matches_sma_convention(self, rng):
+        values = rng.normal(size=40)
+        assert savitzky_golay(values, 7, 2).size == 40 - 7 + 1
+
+    def test_window_larger_than_series_rejected(self):
+        with pytest.raises(ValueError):
+            savitzky_golay(np.ones(5), 7, 1)
+
+    def test_sg1_smooths_noise(self, rng):
+        from repro.timeseries.stats import roughness
+
+        values = rng.normal(size=400)
+        assert roughness(savitzky_golay(values, 21, 1)) < roughness(values)
+
+
+class TestFFTFilters:
+    def test_lowpass_zero_components_is_mean(self, rng):
+        values = rng.normal(size=64)
+        out = fft_lowpass(values, 0)
+        np.testing.assert_allclose(out, np.full(64, values.mean()), atol=1e-9)
+
+    def test_lowpass_keeps_slow_sine(self):
+        t = np.arange(128.0)
+        slow = np.sin(2 * np.pi * t / 64)
+        fast = 0.5 * np.sin(2 * np.pi * t / 4)
+        out = fft_lowpass(slow + fast, 4)
+        np.testing.assert_allclose(out, slow, atol=0.05)
+
+    def test_lowpass_full_spectrum_is_identity(self, rng):
+        values = rng.normal(size=32)
+        np.testing.assert_allclose(fft_lowpass(values, 16), values, atol=1e-9)
+
+    def test_dominant_keeps_strongest_component(self):
+        t = np.arange(128.0)
+        strong = 3.0 * np.sin(2 * np.pi * t / 8)  # high frequency, high power
+        weak = 0.3 * np.sin(2 * np.pi * t / 64)
+        out = fft_dominant(strong + weak, 1)
+        np.testing.assert_allclose(out, strong + np.mean(strong + weak), atol=0.05)
+
+    def test_dominant_preserves_mean(self, rng):
+        values = rng.normal(size=50) + 7.0
+        out = fft_dominant(values, 3)
+        assert out.mean() == pytest.approx(values.mean(), abs=1e-9)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            fft_lowpass([1.0, 2.0], -1)
+        with pytest.raises(ValueError):
+            fft_dominant([1.0, 2.0], -1)
+
+    def test_native_backend_agrees_with_numpy(self, rng):
+        values = rng.normal(size=48)
+        np.testing.assert_allclose(
+            fft_lowpass(values, 5, backend="native"),
+            fft_lowpass(values, 5, backend="numpy"),
+            atol=1e-8,
+        )
+
+
+class TestMinMax:
+    def test_output_contains_bucket_extremes(self):
+        values = np.array([1.0, 5.0, 2.0, -3.0, 4.0, 0.0])
+        out = minmax_filter(values, 3)
+        # Buckets [1,5,2] and [-3,4,0] -> (1,5) then (-3,4), time-ordered.
+        assert np.array_equal(out, [1.0, 5.0, -3.0, 4.0])
+
+    def test_single_point_buckets(self):
+        values = np.array([2.0, 1.0])
+        assert np.array_equal(minmax_filter(values, 1), values)
+
+    def test_constant_bucket_emits_once(self):
+        out = minmax_filter(np.array([3.0, 3.0, 3.0]), 3)
+        assert np.array_equal(out, [3.0])
+
+    def test_is_rougher_than_sma(self, rng):
+        from repro.spectral.convolution import sma
+        from repro.timeseries.stats import roughness
+
+        values = rng.normal(size=600)
+        assert roughness(minmax_filter(values, 10)) > roughness(sma(values, 10))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            minmax_filter([1.0], 0)
+
+
+class TestRegistry:
+    def test_all_figure_b2_filters_present(self):
+        registry = filter_registry()
+        assert set(registry) == {"FFT-low", "FFT-dominant", "SG1", "SG4", "minmax"}
+
+    def test_candidates_are_valid_parameters(self, rng):
+        values = rng.normal(size=120)
+        for name, smoother in filter_registry().items():
+            candidates = list(smoother.candidates(values.size))
+            assert candidates, name
+            out = smoother.apply(values, candidates[0])
+            assert out.size > 0, name

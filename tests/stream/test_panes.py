@@ -1,0 +1,95 @@
+"""Tests for pane-based subaggregation (Section 4.5 state management)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.panes import PaneBuffer
+from repro.timeseries.stats import kurtosis
+
+
+class TestPaneCompletion:
+    def test_pane_completes_after_pane_size_points(self):
+        buffer = PaneBuffer(pane_size=3, capacity=10)
+        assert buffer.push(0.0, 1.0) is None
+        assert buffer.push(1.0, 2.0) is None
+        pane = buffer.push(2.0, 3.0)
+        assert pane is not None
+        assert pane.mean == pytest.approx(2.0)
+        assert pane.start_time == 0.0
+
+    def test_aggregated_values_are_bucket_means(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10)
+        buffer.extend(range(6), [1.0, 3.0, 5.0, 7.0, 9.0, 11.0])
+        assert np.array_equal(buffer.aggregated_values(), [2.0, 6.0, 10.0])
+
+    def test_incomplete_pane_not_visible(self):
+        buffer = PaneBuffer(pane_size=4, capacity=10)
+        buffer.extend(range(6), np.ones(6))
+        assert len(buffer) == 1  # only one complete pane of 4
+        assert buffer.total_points == 6
+
+    def test_extend_returns_completed_count(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10)
+        assert buffer.extend(range(5), np.ones(5)) == 2
+
+    def test_pane_size_one(self):
+        buffer = PaneBuffer(pane_size=1, capacity=5)
+        buffer.push(0.0, 42.0)
+        assert np.array_equal(buffer.aggregated_values(), [42.0])
+
+
+class TestEviction:
+    def test_capacity_bounds_panes(self):
+        buffer = PaneBuffer(pane_size=1, capacity=3)
+        buffer.extend(range(5), [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert len(buffer) == 3
+        assert np.array_equal(buffer.aggregated_values(), [3.0, 4.0, 5.0])
+        assert buffer.evicted_panes == 2
+
+    def test_timestamps_follow_eviction(self):
+        buffer = PaneBuffer(pane_size=2, capacity=2)
+        buffer.extend(range(8), np.arange(8.0))
+        assert np.array_equal(buffer.aggregated_timestamps(), [4.0, 6.0])
+
+    def test_clear(self):
+        buffer = PaneBuffer(pane_size=1, capacity=3)
+        buffer.extend(range(3), np.ones(3))
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.total_points == 0
+        assert buffer.evicted_panes == 0
+
+
+class TestWindowSketch:
+    def test_sketch_merges_panes(self, rng):
+        values = rng.normal(size=60)
+        buffer = PaneBuffer(pane_size=5, capacity=100)
+        buffer.extend(range(60), values)
+        sketch = buffer.window_sketch()
+        assert sketch.count == 60
+        assert sketch.mean == pytest.approx(values.mean())
+        assert sketch.kurtosis == pytest.approx(kurtosis(values), rel=1e-7)
+
+    def test_sketch_excludes_open_pane(self, rng):
+        values = rng.normal(size=7)
+        buffer = PaneBuffer(pane_size=5, capacity=100)
+        buffer.extend(range(7), values)
+        assert buffer.window_sketch().count == 5
+
+
+class TestValidation:
+    def test_rejects_bad_pane_size(self):
+        with pytest.raises(ValueError):
+            PaneBuffer(pane_size=0, capacity=1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PaneBuffer(pane_size=1, capacity=0)
+
+    def test_empty_pane_mean_rejected(self):
+        from repro.stream.panes import Pane
+
+        with pytest.raises(ValueError):
+            Pane(start_time=0.0).mean

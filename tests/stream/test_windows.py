@@ -1,0 +1,61 @@
+"""Tests for sliding-window semantics and the slide policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.windows import WindowSpec, iter_windows, slide_for_resolution, window_starts
+
+
+class TestWindowSpec:
+    def test_pane_size_is_gcd(self):
+        assert WindowSpec(window=12, slide=8).pane_size == 4
+        assert WindowSpec(window=7, slide=3).pane_size == 1
+        assert WindowSpec(window=10, slide=10).pane_size == 10
+
+    def test_panes_per_window(self):
+        assert WindowSpec(window=12, slide=8).panes_per_window == 3
+
+    def test_output_length(self):
+        spec = WindowSpec(window=4, slide=2)
+        assert spec.output_length(10) == 4
+        assert spec.output_length(4) == 1
+        assert spec.output_length(3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(window=0)
+        with pytest.raises(ValueError):
+            WindowSpec(window=1, slide=0)
+
+
+class TestWindowIteration:
+    def test_starts(self):
+        starts = window_starts(10, WindowSpec(window=4, slide=3))
+        assert np.array_equal(starts, [0, 3, 6])
+
+    def test_iter_windows_contents(self):
+        values = np.arange(6.0)
+        windows = list(iter_windows(values, WindowSpec(window=3, slide=2)))
+        assert len(windows) == 2
+        assert np.array_equal(windows[0], [0.0, 1.0, 2.0])
+        assert np.array_equal(windows[1], [2.0, 3.0, 4.0])
+
+    def test_iter_windows_short_series(self):
+        assert list(iter_windows(np.ones(2), WindowSpec(window=5))) == []
+
+
+class TestSlidePolicy:
+    def test_matches_point_to_pixel_ratio(self):
+        # Section 3.3: slide = #original points / #desired points.
+        assert slide_for_resolution(604_800, 2304) == 262
+
+    def test_floor_of_one(self):
+        assert slide_for_resolution(10, 100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slide_for_resolution(-1, 100)
+        with pytest.raises(ValueError):
+            slide_for_resolution(100, 0)

@@ -1,0 +1,110 @@
+"""Tests for the Table 2 dataset reconstructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    PERFORMANCE_DATASETS,
+    USER_STUDY_DATASETS,
+    available,
+    load,
+    load_many,
+)
+from repro.timeseries.stats import kurtosis
+
+
+class TestRegistry:
+    def test_all_table2_datasets_present(self):
+        names = set(available())
+        expected = {
+            "gas_sensor", "eeg", "power", "traffic_data", "machine_temp",
+            "twitter_aapl", "ramp_traffic", "sim_daily", "taxi", "temp", "sine",
+        }
+        assert expected <= names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("nope")
+
+    def test_user_study_subsets_are_registered(self):
+        assert set(USER_STUDY_DATASETS) <= set(available())
+        assert set(PERFORMANCE_DATASETS) <= set(available())
+
+    def test_load_many(self):
+        datasets = load_many(["taxi", "sine"], scale=0.25)
+        assert [d.info.name for d in datasets] == ["taxi", "sine"]
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", ["taxi", "temp", "sine", "power"])
+    def test_full_scale_length_matches_table2(self, name):
+        dataset = load(name)
+        assert len(dataset.series) == dataset.info.n_points
+
+    def test_scale_shrinks_points(self):
+        full = load("taxi")
+        half = load("taxi", scale=0.5)
+        assert len(half) == pytest.approx(len(full) / 2, abs=2)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            load("taxi", scale=0.0)
+
+    def test_determinism(self):
+        a = load("power", scale=0.1)
+        b = load("power", scale=0.1)
+        assert np.array_equal(a.series.values, b.series.values)
+
+    def test_seed_override_changes_values(self):
+        a = load("power", scale=0.1)
+        b = load("power", scale=0.1, seed=999)
+        assert not np.array_equal(a.series.values, b.series.values)
+
+
+class TestStructure:
+    def test_taxi_has_daily_periodicity(self):
+        from repro.core.acf import analyze_acf
+
+        dataset = load("taxi", scale=0.5)
+        acf = analyze_acf(dataset.series.values, max_lag=400)
+        # A peak at (or within 2 lags of) the daily period 48.
+        assert any(abs(p - 48) <= 2 for p in acf.peaks)
+
+    def test_twitter_aapl_kurtosis_is_extreme(self):
+        # The reconstruction must keep kurtosis far above 3 so ASAP
+        # (correctly) refuses to smooth it, as in Table 2.
+        dataset = load("twitter_aapl", scale=0.5)
+        assert kurtosis(dataset.series.values) > 50.0
+
+    def test_user_study_datasets_have_anomalies(self):
+        for name in USER_STUDY_DATASETS:
+            dataset = load(name, scale=0.5)
+            assert dataset.anomalies, name
+
+    def test_anomaly_within_series(self):
+        for name in USER_STUDY_DATASETS:
+            dataset = load(name, scale=0.5)
+            for anomaly in dataset.anomalies:
+                assert 0 <= anomaly.start < anomaly.end <= len(dataset.series) + 1
+
+    def test_taxi_dip_lowers_level(self):
+        dataset = load("taxi", scale=0.5)
+        anomaly = dataset.anomalies[0]
+        values = dataset.series.values
+        inside = values[anomaly.start : anomaly.end].mean()
+        outside = np.concatenate([values[: anomaly.start], values[anomaly.end :]]).mean()
+        assert inside < outside - 0.5
+
+    def test_power_holiday_is_quiet(self):
+        dataset = load("power", scale=0.5)
+        anomaly = dataset.anomalies[0]
+        values = dataset.series.values
+        assert values[anomaly.start : anomaly.end].max() < values.max() * 0.7
+
+    def test_info_carries_paper_numbers(self):
+        info = load("taxi", scale=0.1).info
+        assert info.paper_window == 112
+        assert info.paper_candidates_exhaustive == 120
+        assert info.paper_candidates_asap == 4

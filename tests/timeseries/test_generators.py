@@ -1,0 +1,129 @@
+"""Tests for the synthetic signal generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import generators as g
+
+
+class TestNoise:
+    def test_white_noise_moments(self):
+        values = g.white_noise(20000, sigma=2.0, seed=1)
+        assert np.std(values) == pytest.approx(2.0, rel=0.05)
+        assert np.mean(values) == pytest.approx(0.0, abs=0.1)
+
+    def test_determinism(self):
+        assert np.array_equal(g.white_noise(100, seed=7), g.white_noise(100, seed=7))
+        assert not np.array_equal(g.white_noise(100, seed=7), g.white_noise(100, seed=8))
+
+    def test_laplace_heavier_tails_than_uniform(self):
+        from repro.timeseries.stats import kurtosis
+
+        lap = g.laplace_noise(20000, seed=2)
+        uni = g.uniform_noise(20000, seed=2)
+        assert kurtosis(lap) > 4.5 > kurtosis(uni)
+
+
+class TestWaves:
+    def test_sine_period(self):
+        wave = g.sine_wave(64, period=32)
+        assert wave[0] == pytest.approx(wave[32], abs=1e-9)
+        assert np.max(wave) == pytest.approx(1.0, abs=1e-3)
+
+    def test_sine_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            g.sine_wave(10, period=0)
+
+    def test_sawtooth_range(self):
+        wave = g.sawtooth_wave(100, period=10, amplitude=2.0)
+        assert wave.min() >= -2.0
+        assert wave.max() <= 2.0
+
+    def test_square_wave_two_levels(self):
+        wave = g.square_wave(64, period=16)
+        assert set(np.round(np.unique(wave), 6)) <= {-1.0, 1.0}
+
+    def test_linear_trend_roughness_zero(self):
+        from repro.timeseries.stats import roughness
+
+        assert roughness(g.linear_trend(100, slope=0.5, intercept=3.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_random_walk_is_cumulative(self):
+        walk = g.random_walk(50, step_sigma=1.0, seed=3)
+        steps = np.diff(walk)
+        assert np.std(steps) == pytest.approx(1.0, rel=0.4)
+
+
+class TestAnomalies:
+    def test_anomaly_validation(self):
+        with pytest.raises(ValueError):
+            g.Anomaly(5, 5)
+        with pytest.raises(ValueError):
+            g.Anomaly(-1, 3)
+
+    def test_region_index(self):
+        anomaly = g.Anomaly(90, 110)
+        assert anomaly.region_index(1000, regions=5) == 0
+        assert g.Anomaly(900, 1000).region_index(1000, regions=5) == 4
+
+    def test_region_index_clamps(self):
+        assert g.Anomaly(990, 1100).region_index(1000, regions=5) == 4
+
+    def test_level_shift(self):
+        base = np.zeros(10)
+        shifted = g.level_shift(base, 2, 5, -1.0)
+        assert np.array_equal(shifted[2:5], [-1.0] * 3)
+        assert shifted[5] == 0.0
+        assert base[2] == 0.0  # input untouched
+
+    def test_transient_spike_width(self):
+        spiked = g.transient_spike(np.zeros(10), at=5, magnitude=3.0, width=2)
+        assert np.count_nonzero(spiked) == 2
+
+    def test_amplitude_change(self):
+        scaled = g.amplitude_change(np.ones(10), 0, 5, 2.0)
+        assert np.array_equal(scaled, [2.0] * 5 + [1.0] * 5)
+
+    def test_frequency_change_period(self):
+        wave = g.frequency_change(400, period=40, start=200, end=280, period_factor=0.5)
+        # Outside the anomaly, zero crossings every half period (20 samples).
+        crossings = np.nonzero(np.diff(np.signbit(wave[:200])))[0]
+        spacing = np.diff(crossings)
+        assert np.median(spacing) == pytest.approx(20, abs=1)
+        # Inside, spacing halves.
+        crossings_in = np.nonzero(np.diff(np.signbit(wave[200:280])))[0]
+        assert np.median(np.diff(crossings_in)) == pytest.approx(10, abs=1)
+
+    def test_frequency_change_validation(self):
+        with pytest.raises(ValueError):
+            g.frequency_change(100, period=0, start=0, end=10, period_factor=0.5)
+
+
+class TestSignalSpec:
+    def test_compose_sums_components(self):
+        series = g.compose(
+            50,
+            lambda n: np.ones(n),
+            lambda n: 2 * np.ones(n),
+            name="sum",
+        )
+        assert np.array_equal(series.values, np.full(50, 3.0))
+        assert series.name == "sum"
+
+    def test_spec_applies_anomalies_in_order(self):
+        anomaly = g.Anomaly(1, 3)
+        spec = g.SignalSpec(
+            n=5,
+            components=[lambda n: np.zeros(n)],
+            anomalies=[(lambda v: g.level_shift(v, 1, 3, 1.0), anomaly)],
+        )
+        series, marks = spec.build()
+        assert np.array_equal(series.values, [0.0, 1.0, 1.0, 0.0, 0.0])
+        assert marks == [anomaly]
+
+    def test_spec_rejects_bad_component_shape(self):
+        spec = g.SignalSpec(n=5, components=[lambda n: np.zeros(n + 1)])
+        with pytest.raises(ValueError):
+            spec.build()

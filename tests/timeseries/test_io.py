@@ -1,0 +1,65 @@
+"""Round-trip tests for CSV/JSONL series IO."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries import TimeSeries, read_csv, read_jsonl, write_csv, write_jsonl
+
+
+def test_csv_round_trip(tmp_path):
+    series = TimeSeries([1.5, -2.25, 3.125], timestamps=[10.0, 11.0, 12.5], name="x")
+    path = tmp_path / "series.csv"
+    write_csv(series, path)
+    loaded = read_csv(path, name="x")
+    assert loaded == series
+
+
+def test_csv_single_column(tmp_path):
+    path = tmp_path / "vals.csv"
+    path.write_text("value\n1.0\n2.0\n")
+    loaded = read_csv(path)
+    assert np.array_equal(loaded.values, [1.0, 2.0])
+    assert np.array_equal(loaded.timestamps, [0.0, 1.0])
+
+
+def test_csv_without_header(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("0,5.0\n1,6.0\n")
+    loaded = read_csv(path, has_header=False)
+    assert np.array_equal(loaded.values, [5.0, 6.0])
+
+
+def test_csv_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.csv"
+    path.write_text("t,v\n0,1.0\n\n1,2.0\n")
+    assert len(read_csv(path)) == 2
+
+
+def test_csv_default_name_is_stem(tmp_path):
+    path = tmp_path / "mytrace.csv"
+    write_csv(TimeSeries([1.0]), path)
+    assert read_csv(path).name == "mytrace"
+
+
+def test_jsonl_round_trip(tmp_path):
+    series = TimeSeries([0.5, 0.25], timestamps=[0.0, 2.0], name="j")
+    path = tmp_path / "series.jsonl"
+    write_jsonl(series, path)
+    loaded = read_jsonl(path, name="j")
+    assert loaded == series
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"t": 0, "v": 1.0}\n\n{"t": 1, "v": 2.0}\n')
+    assert len(read_jsonl(path)) == 2
+
+
+def test_csv_precision_preserved(tmp_path):
+    # repr() round-trips float64 exactly.
+    value = 0.1 + 0.2
+    series = TimeSeries([value])
+    path = tmp_path / "precise.csv"
+    write_csv(series, path)
+    assert read_csv(path).values[0] == value

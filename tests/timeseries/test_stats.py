@@ -1,0 +1,154 @@
+"""Unit and property tests for the statistics primitives (Section 3 metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries import stats
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestBasicMoments:
+    def test_mean_matches_numpy(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        assert stats.mean(values) == pytest.approx(np.mean(values))
+
+    def test_variance_is_population(self):
+        values = [1.0, 2.0, 3.0]
+        assert stats.variance(values) == pytest.approx(np.var(values, ddof=0))
+
+    def test_std_is_sqrt_variance(self):
+        values = [1.0, 5.0, 9.0, 13.0]
+        assert stats.std(values) == pytest.approx(np.sqrt(stats.variance(values)))
+
+    def test_empty_series_rejected(self):
+        for fn in (stats.mean, stats.variance, stats.std, stats.kurtosis):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            stats.mean(np.ones((2, 2)))
+
+
+class TestKurtosis:
+    def test_normal_noise_near_three(self, white_noise_series):
+        # Section 3.2: the normal distribution has kurtosis 3.
+        assert stats.kurtosis(white_noise_series) == pytest.approx(3.0, abs=0.35)
+
+    def test_laplace_noise_near_six(self, rng):
+        # Figure 5: the Laplace distribution has kurtosis 6.
+        values = rng.laplace(0.0, 1.0, size=40000)
+        assert stats.kurtosis(values) == pytest.approx(6.0, abs=0.6)
+
+    def test_uniform_below_three(self, rng):
+        values = rng.uniform(-1, 1, size=20000)
+        assert stats.kurtosis(values) == pytest.approx(1.8, abs=0.15)
+
+    def test_constant_series_is_zero(self):
+        assert stats.kurtosis([5.0] * 10) == 0.0
+
+    def test_single_outlier_dominates(self):
+        values = np.zeros(1000)
+        values[500] = 100.0
+        assert stats.kurtosis(values) > 100.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_series, st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=-100.0, max_value=100.0))
+    def test_affine_invariance(self, values, scale, shift):
+        # Kurtosis is a standardized moment: invariant to affine maps.
+        # Near-degenerate variance makes the ratio numerically meaningless,
+        # so restrict to series with real spread.
+        assume(float(np.std(values)) > 1e-3)
+        base = stats.kurtosis(values)
+        transformed = stats.kurtosis(values * scale + shift)
+        assert transformed == pytest.approx(base, rel=1e-6, abs=1e-6)
+
+
+class TestRoughness:
+    def test_figure4_straight_line_is_zero(self):
+        # Figure 4 series C: any constant slope has roughness exactly 0.
+        line = np.linspace(-3.0, 3.0, 50)
+        assert stats.roughness(line) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_roughness_implies_straight_line(self):
+        # The paper's iff claim: roughness 0 <=> constant first differences.
+        values = np.array([0.0, 1.0, 2.0, 3.5])
+        assert stats.roughness(values) > 0.0
+
+    def test_jagged_rougher_than_bent(self):
+        # Figure 4 ordering: jagged (A) > bent (B) > straight (C).
+        n = 40
+        jagged = np.resize([1.0, -1.0], n)
+        bent = np.concatenate([np.linspace(0, 1, n // 2), np.linspace(1, 0.5, n // 2)])
+        straight = np.linspace(0, 1, n)
+        assert stats.roughness(jagged) > stats.roughness(bent) > stats.roughness(straight)
+
+    def test_short_series_is_smooth(self):
+        assert stats.roughness([1.0]) == 0.0
+
+    def test_matches_std_of_diff(self, white_noise_series):
+        expected = np.std(np.diff(white_noise_series))
+        assert stats.roughness(white_noise_series) == pytest.approx(expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_series, st.floats(min_value=-1e3, max_value=1e3))
+    def test_shift_invariance(self, values, shift):
+        assert stats.roughness(values + shift) == pytest.approx(
+            stats.roughness(values), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_series, st.floats(min_value=0.1, max_value=50.0))
+    def test_scale_equivariance(self, values, scale):
+        assert stats.roughness(values * scale) == pytest.approx(
+            scale * stats.roughness(values), rel=1e-6, abs=1e-6
+        )
+
+
+class TestZScore:
+    def test_zero_mean_unit_variance(self, white_noise_series):
+        z = stats.zscore(white_noise_series * 5 + 3)
+        assert np.mean(z) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(z) == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_maps_to_zeros(self):
+        assert np.array_equal(stats.zscore([2.0, 2.0, 2.0]), np.zeros(3))
+
+    def test_empty_passthrough(self):
+        assert stats.zscore([]).size == 0
+
+
+class TestFirstDifferences:
+    def test_values(self):
+        assert np.array_equal(
+            stats.first_differences([1.0, 4.0, 2.0]), np.array([3.0, -2.0])
+        )
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            stats.first_differences([1.0])
+
+
+class TestMomentSummary:
+    def test_matches_individual_functions(self, white_noise_series):
+        summary = stats.moment_summary(white_noise_series)
+        assert summary.count == white_noise_series.size
+        assert summary.mean == pytest.approx(stats.mean(white_noise_series))
+        assert summary.variance == pytest.approx(stats.variance(white_noise_series))
+        assert summary.kurtosis == pytest.approx(stats.kurtosis(white_noise_series))
+        assert summary.roughness == pytest.approx(stats.roughness(white_noise_series))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stats.moment_summary([])

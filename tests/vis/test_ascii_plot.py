@@ -1,0 +1,55 @@
+"""Tests for terminal plotting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vis.ascii_plot import ascii_chart, side_by_side, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self, rng):
+        assert len(sparkline(rng.normal(size=500), width=40)) == 40
+
+    def test_short_series_one_char_each(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline(np.arange(8.0), width=8)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0], width=10) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiChart:
+    def test_contains_title_and_axis(self, rng):
+        chart = ascii_chart(rng.normal(size=200), width=30, height=8, title="demo")
+        assert chart.startswith("demo")
+        assert "└" in chart
+        assert len(chart.splitlines()) == 10  # title + 8 rows + axis
+
+    def test_without_normalization(self):
+        chart = ascii_chart([0.0, 1.0, 0.0], width=9, height=5, normalize=False)
+        assert "█" in chart
+
+
+class TestSideBySide:
+    def test_labels_aligned(self, rng):
+        text = side_by_side(
+            [("raw", rng.normal(size=50)), ("smoothed", np.ones(50))], width=20
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Labels are right-aligned to a shared width, so both sparklines
+        # start at the same column.
+        pad = len("smoothed") - len("raw")
+        assert lines[0].startswith(" " * pad + "raw ")
+        assert lines[1].startswith("smoothed ")
+
+    def test_empty(self):
+        assert side_by_side([]) == ""

@@ -1,0 +1,100 @@
+"""Tests for the pixel rasterizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vis.rasterize import column_extents, pixel_columns, rasterize
+
+
+class TestPixelColumns:
+    def test_uniform_mapping_is_monotone(self):
+        cols = pixel_columns(100, 10)
+        assert cols.size == 100
+        assert np.all(np.diff(cols) >= 0)
+        assert cols[0] == 0
+        assert cols[-1] == 9
+
+    def test_single_point(self):
+        assert np.array_equal(pixel_columns(1, 10), [0])
+
+    def test_positions_respected(self):
+        cols = pixel_columns(3, 10, positions=[0.0, 5.0, 9.999], x_range=(0.0, 10.0))
+        assert np.array_equal(cols, [0, 5, 9])
+
+    def test_positions_clipped_to_range(self):
+        cols = pixel_columns(2, 10, positions=[-5.0, 50.0], x_range=(0.0, 10.0))
+        assert np.array_equal(cols, [0, 9])
+
+    def test_degenerate_range(self):
+        cols = pixel_columns(2, 10, positions=[3.0, 3.0], x_range=(3.0, 3.0))
+        assert np.array_equal(cols, [0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pixel_columns(0, 10)
+        with pytest.raises(ValueError):
+            pixel_columns(5, 0)
+        with pytest.raises(ValueError):
+            pixel_columns(3, 10, positions=[1.0, 2.0])
+
+
+class TestColumnExtents:
+    def test_extents_are_min_max(self):
+        values = np.array([1.0, 3.0, 2.0, 5.0])
+        extents = column_extents(values, 2)
+        assert np.array_equal(extents[0], [1.0, 3.0])
+        assert np.array_equal(extents[1], [2.0, 5.0])
+
+    def test_empty_columns_interpolated(self):
+        extents = column_extents(np.array([0.0, 10.0]), 11,
+                                 positions=[0.0, 10.0], x_range=(0.0, 10.0))
+        # Middle columns inherit linear interpolation between the endpoints.
+        assert extents[5, 0] == pytest.approx(5.0, abs=1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            column_extents(np.array([]), 5)
+
+
+class TestRasterize:
+    def test_shape_and_dtype(self, rng):
+        grid = rasterize(rng.normal(size=100), 50, 20)
+        assert grid.shape == (20, 50)
+        assert grid.dtype == bool
+
+    def test_every_column_lit(self, rng):
+        grid = rasterize(rng.normal(size=500), 80, 30)
+        assert np.all(grid.any(axis=0))
+
+    def test_flat_line_single_row(self):
+        grid = rasterize(np.full(100, 2.0), 20, 11)
+        lit_rows = np.nonzero(grid.any(axis=1))[0]
+        assert lit_rows.size == 1
+
+    def test_column_connectivity(self):
+        # A steep jump must not leave a vertical gap between columns.
+        values = np.concatenate([np.zeros(50), np.ones(50)])
+        grid = rasterize(values, 20, 40)
+        for col in range(20):
+            lit = np.nonzero(grid[:, col])[0]
+            assert np.all(np.diff(lit) == 1), f"gap in column {col}"
+
+    def test_value_range_pins_scale(self):
+        grid_auto = rasterize(np.array([0.0, 0.5]), 2, 10)
+        grid_pinned = rasterize(np.array([0.0, 0.5]), 2, 10, value_range=(0.0, 1.0))
+        assert not np.array_equal(grid_auto, grid_pinned)
+
+    def test_ascending_line_descends_in_rows(self):
+        # Row 0 is the top: an increasing series lights higher rows later.
+        grid = rasterize(np.arange(100.0), 10, 10)
+        first_col_row = np.nonzero(grid[:, 0])[0].max()
+        last_col_row = np.nonzero(grid[:, 9])[0].min()
+        assert first_col_row > last_col_row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rasterize(np.array([]), 5, 5)
+        with pytest.raises(ValueError):
+            rasterize(np.ones(5), 5, 0)

@@ -1,0 +1,201 @@
+"""Tests for M4, PAA, line simplification, devices, and pixel error."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import TimeSeries
+from repro.vis.devices import DEVICES, device, reduction_factor
+from repro.vis.m4 import m4_aggregate, m4_series
+from repro.vis.paa import paa, paa_series
+from repro.vis.pixel_error import pixel_error, raster_difference
+from repro.vis.simplify import (
+    douglas_peucker,
+    douglas_peucker_series,
+    visvalingam_whyatt,
+    visvalingam_whyatt_series,
+)
+
+
+class TestM4:
+    def test_preserves_column_extremes(self, rng):
+        values = rng.normal(size=1000)
+        indices, reduced = m4_aggregate(values, 50)
+        from repro.vis.rasterize import pixel_columns
+
+        cols = pixel_columns(values.size, 50)
+        for col in range(50):
+            mask = cols == col
+            segment = values[mask]
+            kept = reduced[cols[indices] == col]
+            assert segment.min() in kept
+            assert segment.max() in kept
+
+    def test_at_most_four_per_column(self, rng):
+        indices, reduced = m4_aggregate(rng.normal(size=5000), 100)
+        assert reduced.size <= 400
+        assert np.all(np.diff(indices) > 0)  # strictly time-ordered
+
+    def test_keeps_first_and_last(self, rng):
+        values = rng.normal(size=777)
+        indices, _ = m4_aggregate(values, 33)
+        assert indices[0] == 0
+        assert indices[-1] == values.size - 1
+
+    def test_m4_raster_nearly_exact(self, rng):
+        # The defining property of M4: the reduced series re-renders the
+        # original raster (Jugel et al.).
+        values = np.cumsum(rng.normal(size=4000))
+        indices, reduced = m4_aggregate(values, 200)
+        error = pixel_error(values, reduced, width=200, height=100,
+                            transformed_positions=indices.astype(float))
+        assert error < 0.06
+
+    def test_series_wrapper(self, rng):
+        series = TimeSeries(rng.normal(size=100), name="x")
+        reduced = m4_series(series, 10)
+        assert "m4" in reduced.name
+        assert len(reduced) <= 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            m4_aggregate(np.array([]), 10)
+
+
+class TestPAA:
+    def test_exact_segment_means(self):
+        values = np.array([1.0, 3.0, 5.0, 7.0])
+        assert np.array_equal(paa(values, 2), [2.0, 6.0])
+
+    def test_uneven_segments(self):
+        values = np.arange(10.0)
+        out = paa(values, 3)
+        assert out.size == 3
+        assert out[0] == pytest.approx(np.mean(values[0:3]))
+
+    def test_identity_when_segments_exceed_length(self):
+        values = np.array([1.0, 2.0])
+        assert np.array_equal(paa(values, 5), values)
+
+    def test_global_mean_preserved(self, rng):
+        values = rng.normal(size=1000)
+        out = paa(values, 10)  # segments divide evenly
+        assert out.mean() == pytest.approx(values.mean())
+
+    def test_series_wrapper_midpoint_timestamps(self):
+        series = TimeSeries(np.arange(10.0))
+        reduced = paa_series(series, 2)
+        assert np.array_equal(reduced.timestamps, [2.0, 7.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paa(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            paa(np.array([]), 2)
+
+
+class TestVisvalingamWhyatt:
+    def test_keeps_endpoints(self, rng):
+        y = rng.normal(size=100)
+        kept = visvalingam_whyatt(np.arange(100.0), y, 10)
+        assert 0 in kept and 99 in kept
+
+    def test_target_count_reached(self, rng):
+        y = rng.normal(size=200)
+        kept = visvalingam_whyatt(np.arange(200.0), y, 50)
+        assert kept.size == 50
+
+    def test_collinear_points_removed_first(self):
+        x = np.arange(10.0)
+        y = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 100.0])
+        kept = visvalingam_whyatt(x, y, 3)
+        assert 8 in kept  # the corner before the spike survives
+
+    def test_no_op_when_target_exceeds_length(self):
+        kept = visvalingam_whyatt(np.arange(5.0), np.ones(5), 10)
+        assert kept.size == 5
+
+    def test_series_wrapper(self, rng):
+        series = TimeSeries(rng.normal(size=60))
+        out = visvalingam_whyatt_series(series, 20)
+        assert len(out) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            visvalingam_whyatt(np.arange(5.0), np.ones(5), 1)
+        with pytest.raises(ValueError):
+            visvalingam_whyatt(np.arange(5.0), np.ones(4), 3)
+
+
+class TestDouglasPeucker:
+    def test_straight_line_collapses_to_endpoints(self):
+        kept = douglas_peucker(np.arange(50.0), np.arange(50.0) * 2.0, tolerance=0.01)
+        assert np.array_equal(kept, [0, 49])
+
+    def test_corner_preserved(self):
+        x = np.arange(21.0)
+        y = np.concatenate([np.zeros(10), [5.0], np.zeros(10)])
+        kept = douglas_peucker(x, y, tolerance=1.0)
+        assert 10 in kept
+
+    def test_monotone_in_tolerance(self, rng):
+        x = np.arange(300.0)
+        y = np.cumsum(rng.normal(size=300))
+        loose = douglas_peucker(x, y, tolerance=5.0)
+        tight = douglas_peucker(x, y, tolerance=0.5)
+        assert loose.size <= tight.size
+
+    def test_series_wrapper(self, rng):
+        series = TimeSeries(np.cumsum(rng.normal(size=100)))
+        out = douglas_peucker_series(series, tolerance=2.0)
+        assert len(out) <= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(np.arange(5.0), np.ones(5), -1.0)
+
+
+class TestDevices:
+    def test_table1_registry(self):
+        assert len(DEVICES) == 5
+        assert device("38mm Apple Watch").horizontal == 272
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            device("CRT")
+
+    def test_paper_reductions(self):
+        # Table 1's reduction column (paper rounds 290.7 up for the Dell).
+        assert reduction_factor(1_000_000, 272) == 3676
+        assert reduction_factor(1_000_000, 1440) == 694
+        assert reduction_factor(1_000_000, 2304) == 434
+        assert reduction_factor(1_000_000, 5120) == 195
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_factor(0, 100)
+        with pytest.raises(ValueError):
+            reduction_factor(100, 0)
+
+
+class TestPixelError:
+    def test_identity_is_zero(self, rng):
+        values = rng.normal(size=500)
+        assert pixel_error(values, values, width=100, height=50) == 0.0
+
+    def test_oversmoothing_is_large(self, rng):
+        from repro.spectral.convolution import sma
+
+        values = rng.normal(size=2000)
+        smoothed = sma(values, 500)
+        assert pixel_error(values, smoothed, width=200, height=100) > 0.5
+
+    def test_raster_difference_counts_xor(self):
+        a = np.zeros((2, 2), dtype=bool)
+        b = np.array([[True, False], [False, False]])
+        assert raster_difference(a, b) == 1
+
+    def test_raster_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            raster_difference(np.zeros((2, 2), dtype=bool), np.zeros((3, 2), dtype=bool))
