@@ -19,6 +19,7 @@ Quickstart::
 Packages:
 
 * :mod:`repro.core` — the ASAP operator (metrics, search, streaming);
+* :mod:`repro.engine` — the multi-series batch engine (``smooth_many``);
 * :mod:`repro.timeseries` — series container, statistics, dataset
   reconstructions;
 * :mod:`repro.spectral` — FFT, moving-average kernels, alternative filters;
@@ -38,12 +39,15 @@ from .core import (
     find_window,
     smooth,
 )
+from .engine import BatchEngine, BatchResult, smooth_many
 from .timeseries import TimeSeries
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ASAP",
+    "BatchEngine",
+    "BatchResult",
     "DEFAULT_RESOLUTION",
     "Frame",
     "SearchResult",
@@ -52,5 +56,6 @@ __all__ = [
     "TimeSeries",
     "find_window",
     "smooth",
+    "smooth_many",
     "__version__",
 ]

@@ -16,7 +16,15 @@ from .acf import (
     autocorrelation_bruteforce,
     find_acf_peaks,
 )
-from .smoothing import WindowEvaluation, evaluate_window, sma, sma_with_slide, smooth_series
+from .smoothing import (
+    EvaluationCache,
+    WindowEvaluation,
+    evaluate_window,
+    evaluate_window_grid,
+    sma,
+    sma_with_slide,
+    smooth_series,
+)
 from .preaggregation import PreaggregationResult, point_to_pixel_ratio, preaggregate
 from .search import (
     STRATEGIES,
@@ -26,6 +34,7 @@ from .search import (
     binary_search,
     exhaustive_search,
     grid_search,
+    resolve_max_window,
     run_strategy,
     search_periodic,
 )
@@ -46,8 +55,10 @@ __all__ = [
     "autocorrelation",
     "autocorrelation_bruteforce",
     "find_acf_peaks",
+    "EvaluationCache",
     "WindowEvaluation",
     "evaluate_window",
+    "evaluate_window_grid",
     "sma",
     "sma_with_slide",
     "smooth_series",
@@ -61,6 +72,7 @@ __all__ = [
     "binary_search",
     "exhaustive_search",
     "grid_search",
+    "resolve_max_window",
     "run_strategy",
     "search_periodic",
     "SmoothingResult",

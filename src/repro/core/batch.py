@@ -8,7 +8,11 @@ Given a series and a target resolution, :func:`smooth`:
 3. applies the simple moving average and returns a
    :class:`~repro.core.result.SmoothingResult`.
 
-:class:`ASAP` wraps the same pipeline as a configured, reusable object.
+:class:`ASAP` wraps the same pipeline as a configured, reusable object.  For
+smoothing *many* series per refresh — the dashboard workload — see
+:func:`repro.engine.smooth_many`, which drives this exact pipeline with
+shared caches and batched kernels and therefore returns bit-identical
+results.
 """
 
 from __future__ import annotations
@@ -16,11 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..timeseries.series import TimeSeries
-from ..timeseries.stats import kurtosis, roughness
+from .acf import ACFAnalysis
 from .preaggregation import preaggregate
 from .result import SmoothingResult
 from .search import SearchResult, run_strategy
-from .smoothing import sma
+from .smoothing import EvaluationCache, sma
 
 __all__ = ["smooth", "find_window", "ASAP", "DEFAULT_RESOLUTION"]
 
@@ -34,12 +38,60 @@ def _coerce_series(data) -> TimeSeries:
     return TimeSeries(np.asarray(data, dtype=np.float64))
 
 
+def _expected_ratio(n: int, resolution: int, use_preaggregation: bool) -> int:
+    """The ratio :func:`preaggregate` would apply, without doing the work."""
+    from .preaggregation import MIN_OVERSAMPLING, point_to_pixel_ratio
+
+    ratio = point_to_pixel_ratio(n, resolution)  # also validates resolution
+    if not use_preaggregation or n < MIN_OVERSAMPLING * resolution:
+        return 1
+    return ratio
+
+
+def _prepare(
+    series: TimeSeries,
+    resolution: int,
+    use_preaggregation: bool,
+    cache: EvaluationCache | None,
+    kernel: str,
+) -> tuple[np.ndarray, int, EvaluationCache]:
+    """The search input: (aggregated values, point-to-pixel ratio, cache).
+
+    With a caller-supplied cache (the batch engine pre-fills one per series
+    from batched kernel calls), the cache's values *are* the search input —
+    the engine computed them with the row-identical batched aggregation — so
+    the scalar preaggregation pass is skipped; the expected output shape is
+    still verified, and the engine's equivalence tests pin the values
+    themselves.
+    """
+    if cache is not None:
+        ratio = _expected_ratio(len(series), resolution, use_preaggregation)
+        expected_size = len(series) // ratio if ratio > 1 else len(series)
+        if cache.values.size != expected_size:
+            raise ValueError(
+                f"supplied EvaluationCache holds {cache.values.size} values but the "
+                f"pipeline would search {expected_size}; pass the preaggregated "
+                "values the pipeline produces"
+            )
+        return cache.values, ratio, cache
+    if use_preaggregation:
+        agg = preaggregate(series.values, resolution)
+        values, ratio = agg.values, agg.ratio
+    else:
+        values, ratio = np.asarray(series.values, dtype=np.float64), 1
+    return values, ratio, EvaluationCache(values, kernel=kernel)
+
+
 def find_window(
     data,
     resolution: int = DEFAULT_RESOLUTION,
     max_window: int | None = None,
     strategy: str = "asap",
     use_preaggregation: bool = True,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+    kernel: str = "grid",
 ) -> tuple[SearchResult, int]:
     """Search for the best window without producing the smoothed series.
 
@@ -47,12 +99,8 @@ def find_window(
     result is in aggregated units.
     """
     series = _coerce_series(data)
-    if use_preaggregation:
-        agg = preaggregate(series.values, resolution)
-        values, ratio = agg.values, agg.ratio
-    else:
-        values, ratio = series.values, 1
-    result = run_strategy(strategy, values, max_window)
+    values, ratio, cache = _prepare(series, resolution, use_preaggregation, cache, kernel)
+    result = run_strategy(strategy, values, max_window, cache=cache, acf=acf)
     return result, ratio
 
 
@@ -62,6 +110,10 @@ def smooth(
     max_window: int | None = None,
     strategy: str = "asap",
     use_preaggregation: bool = True,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+    kernel: str = "grid",
 ) -> SmoothingResult:
     """Automatically smooth a time series for visualization.
 
@@ -81,6 +133,17 @@ def smooth(
     use_preaggregation:
         Disable to search the raw series — exact but orders of magnitude
         slower on large inputs (the paper's `ASAPno-agg` configuration).
+    cache:
+        Optional pre-filled :class:`~repro.core.smoothing.EvaluationCache`
+        over the (preaggregated) search input; the batch engine uses this to
+        charge a whole batch's candidate evaluations to one kernel call.
+    acf:
+        Optional precomputed ACF analysis of the search input (consumed by
+        the ASAP strategy only); the batch engine's LRU cache passes it to
+        amortize the FFT across refreshes.
+    kernel:
+        Candidate-evaluation kernel: ``"grid"`` (vectorized, default) or
+        ``"scalar"`` (the reference loop, kept for benchmarking).
 
     Examples
     --------
@@ -91,13 +154,11 @@ def smooth(
     True
     """
     series = _coerce_series(data)
-    if use_preaggregation:
-        agg = preaggregate(series.values, resolution)
-        searched_values, ratio = agg.values, agg.ratio
-    else:
-        searched_values, ratio = np.asarray(series.values, dtype=np.float64), 1
+    searched_values, ratio, cache = _prepare(
+        series, resolution, use_preaggregation, cache, kernel
+    )
 
-    search = run_strategy(strategy, searched_values, max_window)
+    search = run_strategy(strategy, searched_values, max_window, cache=cache, acf=acf)
 
     smoothed_values = sma(searched_values, search.window)
     n_buckets = searched_values.size
@@ -107,16 +168,27 @@ def smooth(
     name = f"{series.name}:asap" if series.name else "asap"
     smoothed = TimeSeries(smoothed_values, out_timestamps, name=name)
 
+    # The search already measured the chosen window (and the window-1
+    # incumbent is the original series), so the result's output moments come
+    # from the shared cache instead of a redundant rescan.
+    if search.window == 1:
+        out_roughness = cache.original_roughness
+        out_kurtosis = cache.original_kurtosis
+    else:
+        chosen = cache.evaluate(search.window)
+        out_roughness = chosen.roughness
+        out_kurtosis = chosen.kurtosis
+
     return SmoothingResult(
         series=smoothed,
         window=search.window,
         window_original_units=search.window * ratio,
         preaggregation_ratio=ratio,
         search=search,
-        original_roughness=roughness(searched_values),
-        original_kurtosis=kurtosis(searched_values),
-        roughness=roughness(smoothed_values),
-        kurtosis=kurtosis(smoothed_values),
+        original_roughness=cache.original_roughness,
+        original_kurtosis=cache.original_kurtosis,
+        roughness=out_roughness,
+        kurtosis=out_kurtosis,
     )
 
 

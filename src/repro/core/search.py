@@ -19,21 +19,29 @@ evaluate:
   above the largest feasible peak; falls back to plain binary search for
   aperiodic series.
 
-Every strategy reports how many candidates it actually smoothed
-(``candidates_evaluated``), the quantity Table 2 compares.
+Candidate evaluation flows through a shared
+:class:`~repro.core.smoothing.EvaluationCache`: the grid-shaped strategies
+(exhaustive, grid) hand their entire candidate list to one vectorized kernel
+call, the adaptive strategies (binary, ASAP) evaluate on demand through the
+same kernel, and callers (:func:`repro.core.batch.smooth`, the streaming
+operator, the batch engine) may pass a pre-filled cache to share work.
+
+Every strategy reports how many candidates it actually considered
+(``candidates_evaluated``), the quantity Table 2 compares; memoization never
+changes that count — it only removes redundant kernel work.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..timeseries.stats import kurtosis, roughness
 from .acf import ACFAnalysis, analyze_acf, default_max_lag
 from .metrics import estimate_is_rougher
-from .smoothing import evaluate_window
+from .smoothing import EvaluationCache
 
 __all__ = [
     "SearchResult",
@@ -43,6 +51,7 @@ __all__ = [
     "binary_search",
     "asap_search",
     "search_periodic",
+    "resolve_max_window",
     "STRATEGIES",
     "run_strategy",
 ]
@@ -90,6 +99,15 @@ class SearchState:
             original_kurtosis=kurtosis(values),
         )
 
+    @classmethod
+    def from_cache(cls, cache: EvaluationCache) -> "SearchState":
+        """Initial state whose incumbent moments come from the shared cache."""
+        return cls(
+            window=1,
+            roughness=cache.original_roughness,
+            original_kurtosis=cache.original_kurtosis,
+        )
+
     def consider(self, evaluation) -> bool:
         """Record one evaluated candidate; return True if it became the best."""
         self.candidates_evaluated += 1
@@ -112,7 +130,12 @@ class SearchState:
         )
 
 
-def _resolve_max_window(values, max_window: int | None) -> int:
+def resolve_max_window(values, max_window: int | None) -> int:
+    """The searchable window ceiling: the paper's n/10 default, capped at n-1.
+
+    Shared by every strategy and by the batch engine (which must replicate
+    the exact ceiling to pre-compute ACF analyses the searches will accept).
+    """
     n = np.asarray(values).size
     if n < 4:
         raise ValueError(f"search needs at least 4 points, got {n}")
@@ -122,54 +145,84 @@ def _resolve_max_window(values, max_window: int | None) -> int:
     return min(resolved, n - 1)
 
 
+def _resolve_cache(values, cache: EvaluationCache | None) -> EvaluationCache:
+    return EvaluationCache(values) if cache is None else cache
+
+
 # -- baseline strategies -----------------------------------------------------
 
 
-def exhaustive_search(values, max_window: int | None = None) -> SearchResult:
-    """Evaluate every window in ``[2, max_window]`` (Section 4.1 strawman)."""
-    arr = np.asarray(values, dtype=np.float64)
-    limit = _resolve_max_window(arr, max_window)
-    state = SearchState.for_series(arr)
-    for window in range(2, limit + 1):
-        state.consider(evaluate_window(arr, window))
+def exhaustive_search(
+    values,
+    max_window: int | None = None,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+) -> SearchResult:
+    """Evaluate every window in ``[2, max_window]`` (Section 4.1 strawman).
+
+    All candidates are evaluated by one vectorized kernel call; *acf* is
+    accepted for strategy-signature uniformity and ignored.
+    """
+    cache = _resolve_cache(values, cache)
+    limit = resolve_max_window(cache.values, max_window)
+    state = SearchState.from_cache(cache)
+    for evaluation in cache.evaluate_many(range(2, limit + 1)):
+        state.consider(evaluation)
     return state.to_result("exhaustive", limit)
 
 
-def grid_search(values, step: int, max_window: int | None = None) -> SearchResult:
+def grid_search(
+    values,
+    step: int,
+    max_window: int | None = None,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+) -> SearchResult:
     """Evaluate every *step*-th window — Grid2/Grid10 of Figure 8.
 
     Roughness is not monotonic in window length for periodic data, so a
     coarse grid can (and in the paper's Figure 8, does) miss the optimum.
+    The whole grid is evaluated by one vectorized kernel call.
     """
     if step < 1:
         raise ValueError(f"step must be >= 1, got {step}")
-    arr = np.asarray(values, dtype=np.float64)
-    limit = _resolve_max_window(arr, max_window)
-    state = SearchState.for_series(arr)
-    for window in range(2, limit + 1, step):
-        state.consider(evaluate_window(arr, window))
+    cache = _resolve_cache(values, cache)
+    limit = resolve_max_window(cache.values, max_window)
+    state = SearchState.from_cache(cache)
+    for evaluation in cache.evaluate_many(range(2, limit + 1, step)):
+        state.consider(evaluation)
     return state.to_result(f"grid{step}", limit)
 
 
-def binary_search(values, max_window: int | None = None) -> SearchResult:
+def binary_search(
+    values,
+    max_window: int | None = None,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+) -> SearchResult:
     """Bisect on the kurtosis constraint (Section 4.2).
 
     Sound for IID data, where roughness decreases and kurtosis moves
     monotonically toward 3 with window size; used by ASAP as the fallback
     for aperiodic series and as Figure 8's `Binary` baseline.
     """
-    arr = np.asarray(values, dtype=np.float64)
-    limit = _resolve_max_window(arr, max_window)
-    state = SearchState.for_series(arr)
-    _binary_search_range(arr, 2, limit, state)
+    cache = _resolve_cache(values, cache)
+    limit = resolve_max_window(cache.values, max_window)
+    state = SearchState.from_cache(cache)
+    _binary_search_range(cache, 2, limit, state)
     return state.to_result("binary", limit)
 
 
-def _binary_search_range(arr: np.ndarray, head: int, tail: int, state: SearchState) -> None:
+def _binary_search_range(
+    cache: EvaluationCache, head: int, tail: int, state: SearchState
+) -> None:
     """Shared bisection: feasible midpoints push the search to larger windows."""
     while head <= tail:
         window = (head + tail) // 2
-        evaluation = evaluate_window(arr, window)
+        evaluation = cache.evaluate(window)
         state.consider(evaluation)
         if evaluation.is_feasible(state.original_kurtosis):
             head = window + 1
@@ -194,7 +247,13 @@ def _update_lower_bound(state: SearchState, window: int, acf: ACFAnalysis) -> No
     state.lower_bound = max(state.lower_bound, bound)
 
 
-def search_periodic(values, candidates, acf: ACFAnalysis, state: SearchState) -> SearchState:
+def search_periodic(
+    values,
+    candidates,
+    acf: ACFAnalysis,
+    state: SearchState,
+    cache: EvaluationCache | None = None,
+) -> SearchState:
     """Algorithm 1: evaluate candidate windows from large to small with pruning.
 
     Pruning rules:
@@ -209,7 +268,8 @@ def search_periodic(values, candidates, acf: ACFAnalysis, state: SearchState) ->
     and improvement are independent facts, and conflating them (as the
     printed conjunction does) weakens pruning without changing the result.
     """
-    arr = np.asarray(values, dtype=np.float64)
+    cache = _resolve_cache(values, cache)
+    arr = cache.values
     candidate_list = list(candidates)
     for index in range(len(candidate_list) - 1, -1, -1):
         window = candidate_list[index]
@@ -224,7 +284,7 @@ def search_periodic(values, candidates, acf: ACFAnalysis, state: SearchState) ->
             acf.correlation_at(state.window),
         ):
             continue
-        evaluation = evaluate_window(arr, window)
+        evaluation = cache.evaluate(window)
         state.consider(evaluation)
         if evaluation.is_feasible(state.original_kurtosis):
             _update_lower_bound(state, window, acf)
@@ -237,6 +297,8 @@ def asap_search(
     max_window: int | None = None,
     acf: ACFAnalysis | None = None,
     state: SearchState | None = None,
+    *,
+    cache: EvaluationCache | None = None,
 ) -> SearchResult:
     """Algorithm 2: ACF-peak search plus gap binary search.
 
@@ -249,21 +311,25 @@ def asap_search(
         the paper's experimental setting.
     acf:
         Precomputed ACF analysis, e.g. maintained incrementally by the
-        streaming operator; computed here when absent.
+        streaming operator or shared across refreshes by the batch engine's
+        LRU cache; computed here when absent.
     state:
         Seed search state, used by streaming ASAP to carry the previous
         frame's feasible window into the new search (Section 4.5).
+    cache:
+        Shared evaluation cache; created when absent.
     """
-    arr = np.asarray(values, dtype=np.float64)
-    limit = _resolve_max_window(arr, max_window)
+    cache = _resolve_cache(values, cache)
+    arr = cache.values
+    limit = resolve_max_window(arr, max_window)
     if acf is None:
         acf = analyze_acf(arr, max_lag=limit)
     if state is None:
-        state = SearchState.for_series(arr)
+        state = SearchState.from_cache(cache)
 
     peaks = [p for p in acf.peaks if 2 <= p <= limit]
     if acf.is_periodic and peaks:
-        state = search_periodic(arr, peaks, acf, state)
+        state = search_periodic(arr, peaks, acf, state, cache=cache)
         if state.largest_feasible_idx >= 0:
             feasible_peak = peaks[state.largest_feasible_idx]
             if state.largest_feasible_idx + 1 < len(peaks):
@@ -273,28 +339,49 @@ def asap_search(
             head = max(state.lower_bound, feasible_peak + 1)
         else:
             head, tail = 2, limit
-        _binary_search_range(arr, head, min(tail, limit), state)
+        _binary_search_range(cache, head, min(tail, limit), state)
     else:
-        _binary_search_range(arr, 2, limit, state)
+        _binary_search_range(cache, 2, limit, state)
     return state.to_result("asap", limit)
 
 
-#: Strategy registry for the Figure 8/9 sweeps: name -> callable(values, max_window).
+#: Strategy registry for the Figure 8/9 sweeps: name -> callable with the
+#: uniform signature ``(values, max_window=None, *, cache=None, acf=None)``.
 STRATEGIES = {
     "exhaustive": exhaustive_search,
-    "grid2": lambda values, max_window=None: grid_search(values, 2, max_window),
-    "grid10": lambda values, max_window=None: grid_search(values, 10, max_window),
+    "grid2": lambda values, max_window=None, **kwargs: grid_search(
+        values, 2, max_window, **kwargs
+    ),
+    "grid10": lambda values, max_window=None, **kwargs: grid_search(
+        values, 10, max_window, **kwargs
+    ),
     "binary": binary_search,
-    "asap": asap_search,
+    "asap": lambda values, max_window=None, *, cache=None, acf=None: asap_search(
+        values, max_window, acf=acf, cache=cache
+    ),
 }
 
 
-def run_strategy(name: str, values, max_window: int | None = None) -> SearchResult:
-    """Run a registered strategy by name."""
+def run_strategy(
+    name: str,
+    values,
+    max_window: int | None = None,
+    *,
+    cache: EvaluationCache | None = None,
+    acf: ACFAnalysis | None = None,
+) -> SearchResult:
+    """Run a registered strategy by name.
+
+    *cache* and *acf* are forwarded to the strategy: a shared
+    :class:`~repro.core.smoothing.EvaluationCache` avoids re-evaluating
+    candidates across calls, and a precomputed ACF analysis (only consumed by
+    the ASAP strategy) lets the batch engine amortize the FFT across
+    refreshes.
+    """
     try:
         strategy = STRATEGIES[name]
     except KeyError:
         raise KeyError(
             f"unknown strategy {name!r}; available: {', '.join(STRATEGIES)}"
         ) from None
-    return strategy(values, max_window)
+    return strategy(values, max_window, cache=cache, acf=acf)

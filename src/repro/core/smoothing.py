@@ -5,19 +5,45 @@ its window size.  This module wraps the O(n) prefix-sum kernel from the
 spectral substrate with the slide policy the paper uses: slide 1 during the
 search (every candidate window's roughness/kurtosis must be exact) and a
 display-resolution slide when emitting final plots.
+
+Candidate evaluation — "smooth at window *w*, measure roughness and
+kurtosis" — is the inner loop of every search strategy, so it has two
+implementations sharing one result type:
+
+* :func:`evaluate_window` — the scalar reference: one ``sma`` call plus the
+  scalar moment kernels.  Kept as the correctness oracle (and the benchmark
+  baseline for the pre-vectorization behaviour).
+* :func:`evaluate_window_grid` — the vectorized kernel
+  (:func:`repro.spectral.convolution.sma_grid_moments`): a whole grid of
+  candidates in one array-ops pass, with results for any window independent
+  of which grid it was evaluated in.
+
+:class:`EvaluationCache` memoizes evaluations per series and is threaded
+through every strategy, so repeated candidates cost nothing, all strategies
+share one numeric path (keeping, e.g., ASAP's selected window comparable with
+exhaustive search's), and the batch engine can pre-fill a whole search's
+candidates with one batched kernel call.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..spectral.convolution import sma, sma_with_slide
+from ..spectral.convolution import sma, sma_grid_moments, sma_with_slide
 from ..timeseries.series import TimeSeries
 from ..timeseries.stats import kurtosis, roughness
 
-__all__ = ["sma", "sma_with_slide", "smooth_series", "evaluate_window", "WindowEvaluation"]
-
-from dataclasses import dataclass
+__all__ = [
+    "sma",
+    "sma_with_slide",
+    "smooth_series",
+    "evaluate_window",
+    "evaluate_window_grid",
+    "EvaluationCache",
+    "WindowEvaluation",
+]
 
 
 @dataclass(frozen=True)
@@ -34,13 +60,137 @@ class WindowEvaluation:
 
 
 def evaluate_window(values, window: int) -> WindowEvaluation:
-    """Smooth at *window* (slide 1) and measure roughness and kurtosis."""
+    """Smooth at *window* (slide 1) and measure roughness and kurtosis.
+
+    Scalar reference implementation; the search strategies use the vectorized
+    :class:`EvaluationCache` path instead.
+    """
     smoothed = sma(values, window)
     return WindowEvaluation(
         window=window,
         roughness=roughness(smoothed),
         kurtosis=kurtosis(smoothed),
     )
+
+
+def evaluate_window_grid(values, windows) -> list[WindowEvaluation]:
+    """Evaluate a whole grid of candidate windows in one vectorized pass.
+
+    Equivalent to ``[evaluate_window(values, w) for w in windows]`` up to
+    floating-point roundoff, at a fraction of the cost: the padded SMA matrix
+    and its moments are computed with numpy array ops
+    (:func:`repro.spectral.convolution.sma_grid_moments`) instead of one
+    Python iteration per candidate.  The numbers produced for a window do not
+    depend on the rest of the grid, so searches that evaluate different
+    candidate subsets stay numerically consistent with each other.
+    """
+    window_list = [int(w) for w in windows]
+    rough, kurt = sma_grid_moments(values, window_list)
+    return [
+        WindowEvaluation(window=w, roughness=float(r), kurtosis=float(k))
+        for w, r, k in zip(window_list, rough, kurt)
+    ]
+
+
+class EvaluationCache:
+    """Memoized candidate evaluations for one (searched) series.
+
+    Every search strategy routes its candidate evaluations through one of
+    these, which provides:
+
+    * one numeric path for all strategies (``kernel="grid"``: the vectorized
+      kernel; ``kernel="scalar"``: the reference loop, kept for benchmarking
+      the pre-vectorization behaviour);
+    * memoization, so re-examined candidates (seeded streaming searches, the
+      ASAP gap binary search crossing an already-evaluated peak) cost
+      nothing — note ``candidates_evaluated`` accounting is unaffected: it
+      counts *considerations*, exactly as before;
+    * a pre-fill hook (:meth:`seed`) used by the batch engine to charge a
+      whole grid of candidates to one batched kernel call across many series;
+    * the original series' roughness/kurtosis, computed once and shared by
+      the search and the result assembly.
+    """
+
+    __slots__ = ("values", "kernel", "_evaluations", "_original", "hits", "misses")
+
+    def __init__(self, values, kernel: str = "grid") -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+        if kernel not in ("grid", "scalar"):
+            raise ValueError(f"kernel must be 'grid' or 'scalar', got {kernel!r}")
+        self.values = arr
+        self.kernel = kernel
+        self._evaluations: dict[int, WindowEvaluation] = {}
+        self._original: tuple[float, float] | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- original-series moments ------------------------------------------------
+
+    def _original_moments(self) -> tuple[float, float]:
+        if self._original is None:
+            self._original = (roughness(self.values), kurtosis(self.values))
+        return self._original
+
+    @property
+    def original_roughness(self) -> float:
+        """Roughness of the unsmoothed series (the window-1 incumbent)."""
+        return self._original_moments()[0]
+
+    @property
+    def original_kurtosis(self) -> float:
+        """Kurtosis of the unsmoothed series (the preservation constraint)."""
+        return self._original_moments()[1]
+
+    def seed_original(self, roughness_value: float, kurtosis_value: float) -> None:
+        """Install precomputed original moments (batch-engine pre-fill)."""
+        self._original = (float(roughness_value), float(kurtosis_value))
+
+    # -- candidate evaluations --------------------------------------------------
+
+    def seed(self, evaluations) -> None:
+        """Install precomputed evaluations (batch-engine pre-fill)."""
+        for evaluation in evaluations:
+            self._evaluations[evaluation.window] = evaluation
+
+    def evaluate(self, window: int) -> WindowEvaluation:
+        """Evaluation of one candidate window, memoized."""
+        window = int(window)
+        cached = self._evaluations.get(window)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if self.kernel == "scalar":
+            evaluation = evaluate_window(self.values, window)
+        else:
+            evaluation = evaluate_window_grid(self.values, [window])[0]
+        self._evaluations[window] = evaluation
+        return evaluation
+
+    def evaluate_many(self, windows) -> list[WindowEvaluation]:
+        """Evaluations for a whole candidate grid, one kernel call for misses."""
+        window_list = [int(w) for w in windows]
+        missing = sorted({w for w in window_list if w not in self._evaluations})
+        if missing:
+            self.misses += len(missing)
+            if self.kernel == "scalar":
+                fresh = [evaluate_window(self.values, w) for w in missing]
+            else:
+                fresh = evaluate_window_grid(self.values, missing)
+            self.seed(fresh)
+        self.hits += len(window_list) - len(missing)
+        return [self._evaluations[w] for w in window_list]
+
+    def __len__(self) -> int:
+        return len(self._evaluations)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationCache(n={self.values.size}, kernel={self.kernel!r}, "
+            f"cached={len(self)}, hits={self.hits}, misses={self.misses})"
+        )
 
 
 def smooth_series(series: TimeSeries, window: int, slide: int = 1) -> TimeSeries:

@@ -29,10 +29,9 @@ from ..stream.operators import StreamOperator
 from ..stream.panes import PaneBuffer
 from ..stream.sources import StreamPoint
 from ..timeseries.series import TimeSeries
-from ..timeseries.stats import kurtosis, roughness
 from .acf import analyze_acf
 from .search import SearchResult, SearchState, asap_search, run_strategy
-from .smoothing import sma
+from .smoothing import EvaluationCache, sma
 
 __all__ = ["Frame", "StreamingASAP"]
 
@@ -149,22 +148,25 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
 
     # -- Algorithm 3 internals --------------------------------------------------
 
-    def _check_last_window(self, values: np.ndarray) -> SearchState:
+    def _check_last_window(
+        self, values: np.ndarray, cache: EvaluationCache
+    ) -> SearchState:
         """``CHECKLASTWINDOW``: seed the search from the previous window.
 
         If the previous window still satisfies the kurtosis constraint on the
         updated aggregates, adopt it as the incumbent (enabling the roughness
         pruning to discard weaker candidates without smoothing them);
-        otherwise start from scratch.
+        otherwise start from scratch.  The evaluation lands in the shared
+        cache, so the follow-up search re-examines it for free.
         """
-        state = SearchState.for_series(values)
+        state = SearchState.from_cache(cache)
         previous = self._previous_window
         if previous is None or previous < 2 or previous > values.size - 1:
             return state
-        smoothed = sma(values, previous)
-        if kurtosis(smoothed) >= state.original_kurtosis:
+        evaluation = cache.evaluate(previous)
+        if evaluation.kurtosis >= state.original_kurtosis:
             state.window = previous
-            state.roughness = roughness(smoothed)
+            state.roughness = evaluation.roughness
             state.candidates_evaluated += 1
         return state
 
@@ -172,6 +174,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         values = self._buffer.aggregated_values()
         if values.size < _MIN_PANES_FOR_SEARCH:
             return None
+        cache = EvaluationCache(values)
         if self.strategy == "asap":
             acf = analyze_acf(
                 values,
@@ -182,13 +185,15 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
                 ),
             )
             state = (
-                self._check_last_window(values)
+                self._check_last_window(values, cache)
                 if self.seed_from_previous
-                else SearchState.for_series(values)
+                else SearchState.from_cache(cache)
             )
-            search = asap_search(values, max_window=self.max_window, acf=acf, state=state)
+            search = asap_search(
+                values, max_window=self.max_window, acf=acf, state=state, cache=cache
+            )
         else:
-            search = run_strategy(self.strategy, values, self.max_window)
+            search = run_strategy(self.strategy, values, self.max_window, cache=cache)
         self._searches_run += 1
         self._candidates_evaluated += search.candidates_evaluated
         self._previous_window = search.window

@@ -1,0 +1,39 @@
+"""repro.engine — the multi-series batch execution engine.
+
+ASAP's production workload is not one series but a dashboard of them: every
+refresh re-smooths hundreds of metrics at the same target resolution.  This
+package executes that workload through the single-series pipeline of
+:mod:`repro.core` with the batch's shared work hoisted out:
+
+* :func:`smooth_many` / :class:`BatchEngine` — smooth a 2-D array, a list of
+  arrays or :class:`~repro.timeseries.TimeSeries`, or a dict of labeled
+  series in one call, with batched preaggregation and candidate-evaluation
+  kernels, an LRU cache of ACF analyses shared across refreshes, and
+  optional thread/process fan-out;
+* :class:`BatchResult` / :class:`BatchStats` — per-series
+  :class:`~repro.core.result.SmoothingResult`\\ s in input order plus
+  aggregate timing and cache accounting.
+
+**Equivalence guarantee.**  ``smooth_many(batch, **config)`` returns results
+bit-identical to ``[smooth(series, **config) for series in batch]`` for every
+strategy and input shape.  The batched kernels the engine actually drives —
+:func:`repro.spectral.convolution.sma_grid_moments` for the candidate grids
+and the row-wise original-moment reductions — produce, row for row, exactly
+the values the per-series pipeline computes through the same kernels, and
+the ACF cache only ever returns analyses the per-series search would have
+computed itself.  The engine therefore never
+trades accuracy for speed — ``tests/engine`` asserts exact equality, and
+every pre-filled evaluation cache is revalidated against the values the
+pipeline derives on its own.
+"""
+
+from .batch_engine import BatchEngine, BatchResult, BatchStats, smooth_many
+from .cache import ACFCache
+
+__all__ = [
+    "ACFCache",
+    "BatchEngine",
+    "BatchResult",
+    "BatchStats",
+    "smooth_many",
+]

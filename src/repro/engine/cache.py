@@ -1,0 +1,80 @@
+"""Shared analysis caches for the batch engine.
+
+Dashboards re-smooth largely unchanged series on every refresh; the expensive
+per-series artifact is the ACF analysis (two FFTs plus peak detection).  The
+:class:`ACFCache` memoizes analyses by content fingerprint so a refresh that
+re-submits a series it has seen before pays O(n) hashing instead of
+O(n log n) transforms — and, because :func:`repro.core.acf.analyze_acf` is
+deterministic, a cached analysis is exactly the analysis the search would
+have computed itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.acf import ACFAnalysis, analyze_acf
+
+__all__ = ["ACFCache"]
+
+
+def _fingerprint(values: np.ndarray) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(values.tobytes())
+    return digest.digest()
+
+
+class ACFCache:
+    """A bounded LRU cache of ACF analyses keyed by series content.
+
+    Thread-safe: the engine's thread pool may probe it concurrently.  Keys
+    combine a content fingerprint with the analysis parameters, so the same
+    series analyzed at two different lag ceilings occupies two slots.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, ACFAnalysis] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, values, max_lag: int) -> ACFAnalysis:
+        """The ACF analysis of *values* at *max_lag*, computed at most once."""
+        arr = np.ascontiguousarray(values, dtype=np.float64)
+        key = (_fingerprint(arr), int(max_lag), arr.size)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        analysis = analyze_acf(arr, max_lag=max_lag)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = analysis
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return analysis
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached analysis (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ACFCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

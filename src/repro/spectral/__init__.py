@@ -1,7 +1,17 @@
 """Spectral substrate: FFT, window kernels, and alternative smoothing filters."""
 
 from .fft import fft, ifft, is_power_of_two, next_fast_len
-from .convolution import sliding_max, sliding_min, sma, sma_with_slide
+from .convolution import (
+    prefix_moment_stack,
+    sliding_max,
+    sliding_min,
+    sma,
+    sma2d,
+    sma_grid,
+    sma_grid_moments,
+    sma_with_slide,
+    windowed_moment_sums,
+)
 from .filters import (
     ParameterizedFilter,
     fft_dominant,
@@ -17,10 +27,15 @@ __all__ = [
     "ifft",
     "is_power_of_two",
     "next_fast_len",
+    "prefix_moment_stack",
     "sliding_max",
     "sliding_min",
     "sma",
+    "sma2d",
+    "sma_grid",
+    "sma_grid_moments",
     "sma_with_slide",
+    "windowed_moment_sums",
     "ParameterizedFilter",
     "fft_dominant",
     "fft_lowpass",

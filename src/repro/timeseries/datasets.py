@@ -29,7 +29,6 @@ import numpy as np
 
 from .generators import (
     Anomaly,
-    amplitude_change,
     frequency_change,
     level_shift,
     linear_trend,

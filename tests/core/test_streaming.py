@@ -9,7 +9,7 @@ from repro.core.batch import smooth
 from repro.core.streaming import Frame, StreamingASAP
 from repro.stream.operators import run_stream
 from repro.stream.sources import ReplaySource, StreamPoint
-from repro.timeseries import TimeSeries, load
+from repro.timeseries import TimeSeries
 
 
 def stream_series(operator, series):
@@ -59,9 +59,6 @@ class TestWindowQuality:
         series = TimeSeries(periodic_series)
         operator = StreamingASAP(pane_size=2, resolution=1200, refresh_interval=50)
         frames = stream_series(operator, series)
-        batch = smooth(
-            series, resolution=1200, use_preaggregation=False, max_window=None
-        )
         # Compare against batch on the aggregated stream: pane_size 2 halves
         # the series, so smooth the bucket means directly.
         aggregated = periodic_series.reshape(-1, 2).mean(axis=1)

@@ -7,7 +7,6 @@ findings survive even at test scale where meaningful.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import ASAP, StreamingASAP, TimeSeries, smooth
+from repro import ASAP, StreamingASAP, smooth
 from repro.perception.observer import Observer, region_saliency
 from repro.perception.study import render_visualization
 from repro.stream.operators import run_stream
@@ -132,7 +131,7 @@ class TestPublicAPI:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_docstring_example_runs(self):
         result = smooth([1.0, 2.0, 1.0, 2.0] * 50, resolution=100)

@@ -1,0 +1,136 @@
+"""Tests for the rolling moment kernels (rolling_kurtosis, rolling_roughness).
+
+The scalar kernels applied window by window are the oracle; the rolling
+variants must agree to 1e-9 across random series, the window edge cases
+(w=1, w=n), and degenerate (constant) content — where both must produce the
+scalar kernels' exact zero-variance conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.stats import (
+    kurtosis,
+    rolling_kurtosis,
+    rolling_roughness,
+    roughness,
+)
+
+
+def scalar_rolling(values, window, fn):
+    return np.array(
+        [fn(values[i : i + window]) for i in range(len(values) - window + 1)]
+    )
+
+
+class TestRollingKurtosis:
+    def test_matches_scalar_on_random_series(self, rng):
+        values = rng.normal(2.0, 1.5, size=300)
+        for window in (1, 2, 3, 50, 300):
+            out = rolling_kurtosis(values, window)
+            expected = scalar_rolling(values, window, kurtosis)
+            assert out.shape == expected.shape
+            np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+    def test_window_one_is_all_zero(self, rng):
+        # Single-point windows have zero variance; kurtosis convention is 0.
+        values = rng.normal(size=40)
+        assert np.array_equal(rolling_kurtosis(values, 1), np.zeros(40))
+
+    def test_window_n_matches_whole_series(self, rng):
+        values = rng.standard_t(3, size=128)
+        out = rolling_kurtosis(values, 128)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(kurtosis(values), rel=1e-9)
+
+    def test_constant_series_is_all_zero(self):
+        values = np.full(50, 2.5)
+        assert np.array_equal(rolling_kurtosis(values, 10), np.zeros(41))
+
+    def test_constant_window_inside_varying_series(self):
+        values = np.concatenate([np.full(20, 1.0), np.arange(20.0)])
+        out = rolling_kurtosis(values, 10)
+        expected = scalar_rolling(values, 10, kurtosis)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+        assert out[0] == 0.0  # fully inside the constant prefix
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError, match="series length 5"):
+            rolling_kurtosis(np.ones(5), 6)
+        with pytest.raises(ValueError, match="series length 5"):
+            rolling_kurtosis(np.ones(5), 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=250),
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from(["normal", "periodic", "near_linear", "heavy_tail"]),
+    )
+    def test_property_agreement(self, n, seed, kind):
+        rng = np.random.default_rng(seed)
+        if kind == "normal":
+            values = rng.normal(rng.uniform(-5, 5), rng.uniform(0.1, 3.0), size=n)
+        elif kind == "periodic":
+            values = np.sin(np.arange(n) / rng.uniform(2, 20)) + 0.01 * rng.normal(size=n)
+        elif kind == "near_linear":
+            values = np.linspace(0.0, 1.0, n) + 1e-6 * rng.normal(size=n)
+        else:
+            values = rng.standard_t(3, size=n) * 100 + 1e4
+        window = int(rng.integers(1, n + 1))
+        out = rolling_kurtosis(values, window)
+        expected = scalar_rolling(values, window, kurtosis)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestRollingRoughness:
+    def test_matches_scalar_on_random_series(self, rng):
+        values = rng.normal(0.0, 2.0, size=300)
+        for window in (1, 2, 3, 50, 300):
+            out = rolling_roughness(values, window)
+            expected = scalar_rolling(values, window, roughness)
+            assert out.shape == expected.shape
+            np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+    def test_window_one_is_perfectly_smooth(self, rng):
+        values = rng.normal(size=25)
+        assert np.array_equal(rolling_roughness(values, 1), np.zeros(25))
+
+    def test_window_n_matches_whole_series(self, rng):
+        values = rng.normal(size=200)
+        out = rolling_roughness(values, 200)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(roughness(values), rel=1e-9)
+
+    def test_constant_series_is_all_zero(self):
+        values = np.full(30, 7.25)
+        assert np.array_equal(rolling_roughness(values, 5), np.zeros(26))
+
+    def test_straight_line_is_all_zero_roughness(self):
+        # Constant slope means constant differences: roughness exactly 0.
+        values = np.arange(40.0) * 3.0
+        out = rolling_roughness(values, 8)
+        expected = scalar_rolling(values, 8, roughness)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError, match="series length 4"):
+            rolling_roughness(np.ones(4), 5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=250),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_agreement(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = np.sin(np.arange(n) / rng.uniform(2, 25)) + rng.uniform(
+            0.001, 1.0
+        ) * rng.normal(size=n)
+        window = int(rng.integers(1, n + 1))
+        out = rolling_roughness(values, window)
+        expected = scalar_rolling(values, window, roughness)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
