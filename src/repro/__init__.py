@@ -20,6 +20,7 @@ Packages:
 
 * :mod:`repro.core` — the ASAP operator (metrics, search, streaming);
 * :mod:`repro.engine` — the multi-series batch engine (``smooth_many``);
+* :mod:`repro.service` — the multi-tenant streaming service (``StreamHub``);
 * :mod:`repro.timeseries` — series container, statistics, dataset
   reconstructions;
 * :mod:`repro.spectral` — FFT, moving-average kernels, alternative filters;
@@ -40,9 +41,10 @@ from .core import (
     smooth,
 )
 from .engine import BatchEngine, BatchResult, smooth_many
+from .service import StreamConfig, StreamHub
 from .timeseries import TimeSeries
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ASAP",
@@ -52,6 +54,8 @@ __all__ = [
     "Frame",
     "SearchResult",
     "SmoothingResult",
+    "StreamConfig",
+    "StreamHub",
     "StreamingASAP",
     "TimeSeries",
     "find_window",

@@ -11,6 +11,7 @@ from .metrics import (
 from .acf import (
     ACFAnalysis,
     DEFAULT_CORRELATION_THRESHOLD,
+    analysis_from_correlations,
     analyze_acf,
     autocorrelation,
     autocorrelation_bruteforce,
@@ -40,7 +41,7 @@ from .search import (
 )
 from .result import SmoothingResult
 from .batch import ASAP, DEFAULT_RESOLUTION, find_window, smooth
-from .streaming import Frame, StreamingASAP
+from .streaming import Frame, RollingWindowState, StreamingASAP
 
 __all__ = [
     "estimate_is_rougher",
@@ -81,5 +82,7 @@ __all__ = [
     "find_window",
     "smooth",
     "Frame",
+    "RollingWindowState",
     "StreamingASAP",
+    "analysis_from_correlations",
 ]

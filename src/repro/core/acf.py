@@ -30,6 +30,7 @@ __all__ = [
     "find_acf_peaks",
     "ACFAnalysis",
     "analyze_acf",
+    "analysis_from_correlations",
     "DEFAULT_CORRELATION_THRESHOLD",
 ]
 
@@ -107,13 +108,12 @@ def find_acf_peaks(
     When no peaks qualify, ``max_peak_correlation`` is 0.0.
     """
     acf = np.asarray(correlations, dtype=np.float64)
-    peaks: list[int] = []
-    max_acf = 0.0
-    for lag in range(2, acf.size - 1):
-        is_local_max = acf[lag] > acf[lag - 1] and acf[lag] >= acf[lag + 1]
-        if is_local_max and acf[lag] > threshold:
-            peaks.append(lag)
-            max_acf = max(max_acf, float(acf[lag]))
+    if acf.size < 4:
+        return [], 0.0
+    interior = acf[2:-1]
+    qualifying = (interior > acf[1:-2]) & (interior >= acf[3:]) & (interior > threshold)
+    peaks = [int(lag) + 2 for lag in np.nonzero(qualifying)[0]]
+    max_acf = float(interior[qualifying].max()) if peaks else 0.0
     return peaks, max_acf
 
 
@@ -143,6 +143,31 @@ class ACFAnalysis:
         return float(self.correlations[lag])
 
 
+def analysis_from_correlations(
+    correlations,
+    threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+) -> ACFAnalysis:
+    """Assemble an :class:`ACFAnalysis` from an already-computed correlogram.
+
+    ``correlations[k]`` must be the ACF estimate at lag *k* (so lag 0 is 1.0
+    for any non-degenerate series).  This is the entry point for callers that
+    obtain the correlogram some way other than :func:`autocorrelation` — the
+    streaming operator's incrementally maintained cross-product sums produce
+    exactly such an array — while sharing the peak-detection behaviour with
+    :func:`analyze_acf`.
+    """
+    arr = np.asarray(correlations, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 1:
+        raise ValueError(f"expected a non-empty 1-D correlogram, got shape {arr.shape}")
+    peaks, max_acf = find_acf_peaks(arr, threshold)
+    return ACFAnalysis(
+        correlations=arr,
+        peaks=tuple(peaks),
+        max_acf=max_acf,
+        max_lag=arr.size - 1,
+    )
+
+
 def analyze_acf(
     values,
     max_lag: int | None = None,
@@ -153,11 +178,6 @@ def analyze_acf(
     arr = _validated(values)
     lag = default_max_lag(arr.size) if max_lag is None else max_lag
     lag = min(lag, arr.size - 1)
-    correlations = autocorrelation(arr, lag, backend=backend)
-    peaks, max_acf = find_acf_peaks(correlations, threshold)
-    return ACFAnalysis(
-        correlations=correlations,
-        peaks=tuple(peaks),
-        max_acf=max_acf,
-        max_lag=lag,
+    return analysis_from_correlations(
+        autocorrelation(arr, lag, backend=backend), threshold
     )

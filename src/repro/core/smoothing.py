@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..spectral.convolution import sma, sma_grid_moments, sma_with_slide
+from ..spectral.convolution import sma, sma_grid_moments, sma_window_moments, sma_with_slide
 from ..timeseries.series import TimeSeries
 from ..timeseries.stats import kurtosis, roughness
 
@@ -165,7 +165,12 @@ class EvaluationCache:
         if self.kernel == "scalar":
             evaluation = evaluate_window(self.values, window)
         else:
-            evaluation = evaluate_window_grid(self.values, [window])[0]
+            # Single-candidate probes take the lean kernel, which produces
+            # bit-identical values to the grid kernel at a fraction of the
+            # dispatch cost (binary search and streaming revalidation are
+            # long runs of single-window misses).
+            rough, kurt = sma_window_moments(self.values, window)
+            evaluation = WindowEvaluation(window=window, roughness=rough, kurtosis=kurt)
         self._evaluations[window] = evaluation
         return evaluation
 
@@ -177,6 +182,9 @@ class EvaluationCache:
             self.misses += len(missing)
             if self.kernel == "scalar":
                 fresh = [evaluate_window(self.values, w) for w in missing]
+            elif len(missing) == 1:
+                rough, kurt = sma_window_moments(self.values, missing[0])
+                fresh = [WindowEvaluation(window=missing[0], roughness=rough, kurtosis=kurt)]
             else:
                 fresh = evaluate_window_grid(self.values, missing)
             self.seed(fresh)

@@ -1,4 +1,4 @@
-"""Streaming ASAP (Section 4.5, Algorithm 3).
+"""Streaming ASAP (Section 4.5, Algorithm 3) with incremental refresh state.
 
 The streaming operator folds arrivals into panes sized by the point-to-pixel
 ratio, keeps a bounded buffer of completed panes (the visualized window), and
@@ -17,26 +17,88 @@ The three optimizations can be disabled independently — pane size 1 turns
 off pixel-aware aggregation, ``strategy="exhaustive"`` turns off
 autocorrelation pruning, ``refresh_interval=1`` turns off on-demand updates —
 which is exactly the grid the Figure 11 factor/lesion analysis sweeps.
+
+**Incremental refreshes.**  The original operator recomputed the full ACF
+(two FFTs) and the window's moment statistics from scratch on every refresh —
+O(window log window) work per refresh even when only a handful of panes
+changed.  With ``incremental=True`` the operator instead maintains a
+:class:`RollingWindowState`: lagged cross-product sums (the ACF's sufficient
+statistics), raw power sums (kurtosis), and first-difference sums (roughness)
+updated in O(max_lag) per completed pane, so the per-refresh fixed cost is
+proportional to the *new* panes, not the window.  Two guardrails keep the
+numerics honest:
+
+* every ``recompute_every`` refreshes the sums are rebuilt from the window
+  contents (and the anchor re-centered), bounding the drift the add/subtract
+  updates can accumulate;
+* ``verify_incremental=True`` is the exact-recompute escape hatch: every
+  refresh also runs the from-scratch path and raises if any statistic
+  disagrees beyond the 1e-9 discipline used throughout the repo.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..spectral.convolution import cross_product_sums
 from ..stream.operators import StreamOperator
-from ..stream.panes import PaneBuffer
+from ..stream.panes import PaneBuffer, RollingArray
 from ..stream.sources import StreamPoint
 from ..timeseries.series import TimeSeries
-from .acf import analyze_acf
+from ..timeseries.stats import kurtosis as _scalar_kurtosis
+from ..timeseries.stats import roughness as _scalar_roughness
+from .acf import (
+    ACFAnalysis,
+    analysis_from_correlations,
+    analyze_acf,
+    autocorrelation,
+    default_max_lag,
+)
 from .search import SearchResult, SearchState, asap_search, run_strategy
 from .smoothing import EvaluationCache, sma
 
-__all__ = ["Frame", "StreamingASAP"]
+__all__ = [
+    "Frame",
+    "StreamingASAP",
+    "RollingWindowState",
+    "IncrementalDriftError",
+    "MIN_PANES_FOR_SEARCH",
+]
 
 #: Below this many completed panes a search is statistically meaningless.
-_MIN_PANES_FOR_SEARCH = 8
+MIN_PANES_FOR_SEARCH = 8
+
+#: Agreement required between incremental and from-scratch statistics when
+#: ``verify_incremental`` is on: |incremental - exact| <= TOL * max(1, |exact|).
+INCREMENTAL_AGREEMENT_TOL = 1e-9
+
+
+class IncrementalDriftError(RuntimeError):
+    """Incremental statistics drifted beyond the 1e-9 agreement discipline."""
+
+
+#: Rebuild the rolling sums when cancellation threatens the 1e-9 discipline:
+#: either the window mean drifted too far from the anchor
+#: (``E[y^2] > limit * Var[y]`` — the raw-sum expansions lose precision like
+#: ``eps * ratio^2``), or far more magnitude has *flowed through* a sum than
+#: remains in it (``flow > limit * current`` — sliding-window add/subtract
+#: chains carry absolute error proportional to the largest values ever seen,
+#: which swamps a window that has since shrunk to a smaller scale).  An exact
+#: re-anchored recomputation resets both ratios to ~1.
+_CONDITIONING_LIMIT = 256.0
+
+#: Above this ``|window mean| / window std`` ratio the *from-scratch* scalar
+#: kernels themselves wobble by more than 1e-9 (their two-pass centering
+#: rounds at the ulp of the offset, an ``eps * ratio`` relative error), so no
+#: incrementally maintained formulation can agree with them to the
+#: discipline.  The streaming operator detects the ratio in O(1) and runs
+#: such refreshes through the exact from-scratch path instead — agreement by
+#: construction, at O(window log window) only for pathologically offset
+#: windows (e.g. epoch-timestamps with sub-second jitter).
+_EXACT_FALLBACK_RATIO = 1e6
 
 
 @dataclass(frozen=True)
@@ -48,6 +110,380 @@ class Frame:
     search: SearchResult
     refresh_index: int
     points_ingested: int
+
+
+class RollingWindowState:
+    """Incrementally maintained statistics of a sliding window of aggregates.
+
+    Maintains, over a window of at most ``capacity`` values:
+
+    * ``s[k] = sum_i y_i * y_{i+k}`` for lags ``0..lag_budget`` — the
+      sufficient statistics of the autocorrelation estimator;
+    * the raw power sums ``sum y, sum y^2, sum y^3, sum y^4`` — kurtosis;
+    * the first-difference sums ``sum d, sum d^2`` — roughness.
+
+    Each appended value costs O(lag_budget); eviction (automatic once the
+    window exceeds capacity) costs the same.  All sums are kept over values
+    shifted by an *anchor* (the first value of the current epoch): every
+    statistic derived here is shift-invariant, and anchoring keeps the sums
+    small so the add/subtract updates stay well conditioned.  :meth:`rebuild`
+    recomputes everything from the retained window (re-centering the anchor),
+    which is the periodic drift bound of the streaming operator.
+    """
+
+    __slots__ = (
+        "capacity",
+        "lag_budget",
+        "_ring",
+        "_s",
+        "_t",
+        "_q",
+        "_c3",
+        "_c4",
+        "_dsum",
+        "_dsq",
+        "_danchor",
+        "_flow2",
+        "_flow4",
+        "_flowd2",
+        "_anchor",
+        "appended",
+        "rebuilds",
+    )
+
+    def __init__(self, capacity: int, lag_budget: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if lag_budget < 0:
+            raise ValueError(f"lag_budget must be >= 0, got {lag_budget}")
+        self.capacity = capacity
+        self.lag_budget = lag_budget
+        self._ring = RollingArray(capacity)
+        self._s = np.zeros(lag_budget + 1, dtype=np.float64)
+        self._t = 0.0
+        self._q = 0.0
+        self._c3 = 0.0
+        self._c4 = 0.0
+        self._dsum = 0.0
+        self._dsq = 0.0
+        self._danchor = 0.0
+        self._flow2 = 0.0
+        self._flow4 = 0.0
+        self._flowd2 = 0.0
+        self._anchor: float | None = None
+        self.appended = 0
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def values(self) -> np.ndarray:
+        """The anchored (shifted) window contents, oldest first (no copy)."""
+        return self._ring.view()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def append(self, value: float) -> None:
+        """Fold one new window value in, evicting the oldest past capacity."""
+        if self._anchor is None:
+            self._anchor = float(value)
+        y = float(value) - self._anchor
+        n_before = len(self._ring)
+        self._ring.append(y)
+        view = self._ring.view()
+        k_max = min(self.lag_budget, n_before)
+        segment = view[n_before - k_max :]
+        self._s[: k_max + 1] += y * segment[::-1]
+        y2 = y * y
+        y4 = y2 * y2
+        self._t += y
+        self._q += y2
+        self._c3 += y2 * y
+        self._c4 += y4
+        self._flow2 += y2
+        self._flow4 += y4
+        if n_before >= 1:
+            d = (y - view[-2]) - self._danchor
+            self._dsum += d
+            self._dsq += d * d
+            self._flowd2 += d * d
+        self.appended += 1
+        if n_before + 1 > self.capacity:
+            self._evict()
+
+    def extend(self, values) -> None:
+        """Fold a batch of window values in with vectorized sum updates.
+
+        Mathematically identical to appending one value at a time — the
+        cross-product sums are pure pair sums over the final window, so gains
+        (pairs whose right element is new) and losses (pairs touching evicted
+        elements) can each be computed by one ``np.correlate`` against the
+        extended window — at O(batch * lag_budget) array work instead of
+        O(batch) Python-level appends.
+        """
+        block = np.asarray(values, dtype=np.float64)
+        if block.ndim != 1:
+            raise ValueError(f"expected a 1-D batch, got shape {block.shape}")
+        # Chunk so the extended window always fits the fixed backing buffer.
+        for start in range(0, block.size, self.capacity):
+            self._extend_chunk(block[start : start + self.capacity])
+
+    def _extend_chunk(self, block: np.ndarray) -> None:
+        r = block.size
+        if r == 0:
+            return
+        if r == 1:
+            self.append(float(block[0]))
+            return
+        if self._anchor is None:
+            self._anchor = float(block[0])
+        fresh = block - self._anchor
+        n0 = len(self._ring)
+        self._ring.append_many(fresh)
+        n1 = n0 + r
+        view = self._ring.view()
+
+        # Gains: every pair whose right element lies in the new block.  With
+        # the partner region left-padded by zeros to a fixed length, one
+        # valid-mode correlation yields the K+1 lag sums at once.
+        k_max = min(self.lag_budget, n1 - 1)
+        partner_start = max(n0 - k_max, 0)
+        padded = np.zeros(k_max + r, dtype=np.float64)
+        padded[k_max - (n0 - partner_start) :] = view[partner_start:n1]
+        gains = np.correlate(padded, fresh, mode="valid")
+        self._s[: k_max + 1] += gains[::-1]
+
+        squared = fresh * fresh
+        sum2 = float(squared.sum())
+        sum4 = float((squared * squared).sum())
+        self._t += float(fresh.sum())
+        self._q += sum2
+        self._c3 += float((squared * fresh).sum())
+        self._c4 += sum4
+        self._flow2 += sum2
+        self._flow4 += sum4
+        diffs = np.diff(view[max(n0 - 1, 0) : n1]) - self._danchor
+        diff_sq = float((diffs * diffs).sum())
+        self._dsum += float(diffs.sum())
+        self._dsq += diff_sq
+        self._flowd2 += diff_sq
+        self.appended += r
+
+        overflow = n1 - self.capacity
+        if overflow > 0:
+            self._evict_many(overflow)
+
+    def _evict_many(self, count: int) -> None:
+        n = len(self._ring)
+        view = self._ring.view()
+        evicted = view[:count]
+        # Losses: every pair whose left element is evicted (evicted indices
+        # are the smallest, so any pair touching one has its left end here).
+        k_max = min(self.lag_budget, n - 1)
+        padded = np.zeros(count + k_max, dtype=np.float64)
+        span = min(count + k_max, n)
+        padded[:span] = view[:span]
+        losses = np.correlate(padded, evicted, mode="valid")
+        self._s[: k_max + 1] -= losses
+        squared = evicted * evicted
+        self._t -= float(evicted.sum())
+        self._q -= float(squared.sum())
+        self._c3 -= float((squared * evicted).sum())
+        self._c4 -= float((squared * squared).sum())
+        diffs = np.diff(view[: count + 1]) - self._danchor
+        self._dsum -= float(diffs.sum())
+        self._dsq -= float((diffs * diffs).sum())
+        self._ring.popleft(count)
+
+    def _evict(self) -> None:
+        n = len(self._ring)
+        view = self._ring.view()
+        y0 = view[0]
+        k_max = min(self.lag_budget, n - 1)
+        self._s[: k_max + 1] -= y0 * view[: k_max + 1]
+        y0_2 = y0 * y0
+        self._t -= y0
+        self._q -= y0_2
+        self._c3 -= y0_2 * y0
+        self._c4 -= y0_2 * y0_2
+        d0 = (view[1] - y0) - self._danchor
+        self._dsum -= d0
+        self._dsq -= d0 * d0
+        self._ring.popleft()
+
+    def _ensure_conditioned(self) -> None:
+        """Exact-rebuild when the window mean drifted too far from the anchor.
+
+        The raw-sum expansions lose precision like ``eps * (E[y^2]/Var[y])^2``;
+        past :data:`_CONDITIONING_LIMIT` that threatens the 1e-9 discipline,
+        so the statistics auto-recompute from the retained window (anchored at
+        its mean, restoring a ratio of ~1) before being read.
+        """
+        n = len(self._ring)
+        if n < 2:
+            return
+        energy = self._q / n
+        mean = self._t / n
+        variance = energy - mean * mean
+        limit = _CONDITIONING_LIMIT
+        if energy > 0.0 and (variance <= 0.0 or energy > limit * variance):
+            self.rebuild()
+            return
+        diff_count = n - 1
+        diff_energy = self._dsq / diff_count
+        diff_mean = self._dsum / diff_count
+        diff_variance = diff_energy - diff_mean * diff_mean
+        if diff_energy > 0.0 and (
+            diff_variance <= 0.0 or diff_energy > limit * diff_variance
+        ):
+            self.rebuild()
+            return
+        if (
+            self._flow2 > limit * max(self._q, 0.0)
+            or self._flow4 > limit * max(self._c4, 0.0)
+            or self._flowd2 > limit * max(self._dsq, 0.0)
+        ):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute every sum from the retained window, re-centering the anchor.
+
+        This is the periodic exact recomputation that bounds incremental
+        drift: after a rebuild the sums are exactly the one-shot statistics of
+        the current window contents, anchored at the window mean (the
+        best-conditioned shift for the raw-sum moment expansions).
+        """
+        n = len(self._ring)
+        if n == 0:
+            self.clear()
+            return
+        self.rebuilds += 1
+        window = self._ring.view().copy()
+        shift = float(window.mean())
+        window -= shift
+        self._anchor = (self._anchor or 0.0) + shift
+        self._ring.clear()
+        self._ring.append_many(window)
+        k_max = min(self.lag_budget, n - 1)
+        self._s[:] = 0.0
+        self._s[: k_max + 1] = cross_product_sums(window, k_max)
+        squared = window * window
+        self._t = float(window.sum())
+        self._q = float(squared.sum())
+        self._c3 = float((squared * window).sum())
+        self._c4 = float((squared * squared).sum())
+        diffs = np.diff(window)
+        # Diffs get their own anchor (their mean): ramps have a diff mean far
+        # above the diff spread, and the one-pass variance formula is only
+        # conditioned about a shift near that mean.
+        self._danchor = float(diffs.mean()) if diffs.size else 0.0
+        shifted = diffs - self._danchor
+        self._dsum = float(shifted.sum())
+        self._dsq = float((shifted * shifted).sum())
+        # Flows reset to the freshly computed sums: the flow/current ratio is
+        # back to 1 until new magnitude passes through.
+        self._flow2 = self._q
+        self._flow4 = self._c4
+        self._flowd2 = self._dsq
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._s[:] = 0.0
+        self._t = self._q = self._c3 = self._c4 = 0.0
+        self._dsum = self._dsq = 0.0
+        self._danchor = 0.0
+        self._flow2 = self._flow4 = self._flowd2 = 0.0
+        self._anchor = None
+        self.appended = 0
+
+    # -- derived statistics ---------------------------------------------------
+
+    def correlations(self, max_lag: int) -> np.ndarray:
+        """ACF estimates for lags ``0..max_lag`` from the maintained sums.
+
+        Evaluates the same estimator as :func:`repro.core.acf.autocorrelation`
+        — ``sum (y_i - m)(y_{i+k} - m) / sum (y_i - m)^2`` with *m* the window
+        mean — by expanding the centering against the cross-product sums.
+        """
+        self._ensure_conditioned()
+        n = len(self)
+        if n < 2:
+            raise ValueError(f"correlations need >= 2 window values, got {n}")
+        if not 0 <= max_lag <= min(self.lag_budget, n - 1):
+            raise ValueError(
+                f"max_lag must be in [0, {min(self.lag_budget, n - 1)}], got {max_lag}"
+            )
+        view = self._ring.view()
+        mean = self._t / n
+        first = np.concatenate(([0.0], np.cumsum(view[:max_lag])))
+        last = np.concatenate(([0.0], np.cumsum(view[::-1][:max_lag])))
+        left_sums = self._t - last
+        right_sums = self._t - first
+        counts = n - np.arange(max_lag + 1)
+        centered = self._s[: max_lag + 1] - mean * (left_sums + right_sums) + counts * (mean * mean)
+        energy = centered[0]
+        if energy <= 0.0:
+            out = np.zeros(max_lag + 1)
+            out[0] = 1.0
+            return out
+        return centered / energy
+
+    def offset_ratio(self) -> float:
+        """``|window mean| / window std`` in raw units, O(1).
+
+        This conditioning ratio bounds how closely *any* two float64
+        formulations of the window's central moments can agree — the
+        streaming operator falls back to exact recomputation above
+        :data:`_EXACT_FALLBACK_RATIO`.  Returns ``inf`` for degenerate
+        (zero-variance) windows.
+        """
+        self._ensure_conditioned()
+        n = len(self)
+        if n < 2:
+            return 0.0
+        mean_shifted = self._t / n
+        variance = self._q / n - mean_shifted * mean_shifted
+        mean_raw = (self._anchor or 0.0) + mean_shifted
+        if variance <= 0.0:
+            return 0.0 if mean_raw == 0.0 else math.inf
+        return abs(mean_raw) / math.sqrt(variance)
+
+    def roughness(self) -> float:
+        """Population std of the window's first differences (one-pass form)."""
+        self._ensure_conditioned()
+        n = len(self)
+        if n < 2:
+            return 0.0
+        diff_count = n - 1
+        mean_d = self._dsum / diff_count
+        variance = self._dsq / diff_count - mean_d * mean_d
+        return math.sqrt(variance) if variance > 0.0 else 0.0
+
+    def kurtosis(self) -> float:
+        """Non-excess kurtosis of the window (0.0 when degenerate)."""
+        self._ensure_conditioned()
+        n = len(self)
+        if n == 0:
+            return 0.0
+        mean = self._t / n
+        mean2 = mean * mean
+        m2 = self._q / n - mean2
+        if m2 <= 0.0:
+            return 0.0
+        m4 = (
+            self._c4 / n
+            - 4.0 * mean * (self._c3 / n)
+            + 6.0 * mean2 * (self._q / n)
+            - 3.0 * mean2 * mean2
+        )
+        return m4 / (m2 * m2)
+
+
+def _check_agreement(label: str, incremental: float, exact: float) -> None:
+    if abs(incremental - exact) > INCREMENTAL_AGREEMENT_TOL * max(1.0, abs(exact)):
+        raise IncrementalDriftError(
+            f"incremental {label} drifted: {incremental!r} vs exact {exact!r}"
+        )
 
 
 class StreamingASAP(StreamOperator[StreamPoint, Frame]):
@@ -72,6 +508,24 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
     seed_from_previous:
         Reuse the previous refresh's feasible window to seed pruning
         (``CHECKLASTWINDOW``).  Only meaningful for the ASAP strategy.
+    incremental:
+        Maintain the window's ACF and moment statistics incrementally
+        (O(new panes) per refresh) instead of recomputing them from scratch
+        (O(window log window)).  Results agree with the from-scratch path to
+        the 1e-9 discipline; selected windows are identical in practice.
+    recompute_every:
+        With ``incremental=True``, rebuild the rolling sums from the window
+        contents every this-many refreshes to bound floating-point drift.
+    verify_incremental:
+        Exact-recompute escape hatch: with ``incremental=True``, also run the
+        from-scratch statistics on every refresh and raise
+        :class:`IncrementalDriftError` on disagreement beyond 1e-9.
+    keep_pane_sketches:
+        Retain per-pane :class:`~repro.stream.aggregates.MomentSketch` state
+        (raw-point window statistics via ``PaneBuffer.window_sketch``).  The
+        operator itself never needs them; serving layers turn this off to
+        halve batch-ingest cost.  Pane means — and therefore every frame —
+        are bit-identical either way.
     """
 
     def __init__(
@@ -82,19 +536,58 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         strategy: str = "asap",
         max_window: int | None = None,
         seed_from_previous: bool = True,
+        incremental: bool = False,
+        recompute_every: int = 64,
+        verify_incremental: bool = False,
+        keep_pane_sketches: bool = True,
     ) -> None:
         if refresh_interval < 1:
             raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
-        self._buffer = PaneBuffer(pane_size=pane_size, capacity=resolution)
+        if recompute_every < 1:
+            raise ValueError(f"recompute_every must be >= 1, got {recompute_every}")
+        self.incremental = bool(incremental or verify_incremental)
+        self.recompute_every = recompute_every
+        self.verify_incremental = verify_incremental
+        self._buffer = PaneBuffer(
+            pane_size=pane_size,
+            capacity=resolution,
+            journal=self.incremental,
+            keep_sketches=keep_pane_sketches,
+        )
         self.refresh_interval = refresh_interval
         self.strategy = strategy
         self.max_window = max_window
         self.seed_from_previous = seed_from_previous
+        # Lag sums are only ever read by the ASAP strategy's ACF; other
+        # strategies keep just the O(1)-per-pane moment sums.
+        self._rolling = (
+            RollingWindowState(
+                capacity=resolution,
+                lag_budget=(
+                    self._lag_budget(resolution, max_window) if strategy == "asap" else 0
+                ),
+            )
+            if self.incremental
+            else None
+        )
         self._panes_since_refresh = 0
         self._previous_window: int | None = None
+        self._refresh_due = False
         self._refresh_count = 0
         self._searches_run = 0
         self._candidates_evaluated = 0
+        self._refreshes_since_rebuild = 0
+        self._full_recomputes = 0
+        self._exact_fallbacks = 0
+
+    @staticmethod
+    def _lag_budget(resolution: int, max_window: int | None) -> int:
+        """The largest ACF lag any refresh can need (window never exceeds
+        ``resolution`` panes, and the search ceiling caps the lag further)."""
+        ceiling = max(default_max_lag(resolution), 2)
+        if max_window is not None:
+            ceiling = max(min(max_window, resolution - 1), 2)
+        return ceiling
 
     # -- counters used by the performance experiments -------------------------
 
@@ -118,35 +611,133 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         """Raw points pushed so far."""
         return self._buffer.total_points
 
+    @property
+    def full_recomputes(self) -> int:
+        """Periodic exact rebuilds of the incremental state so far."""
+        return self._full_recomputes
+
+    @property
+    def exact_fallbacks(self) -> int:
+        """Refreshes routed through the exact path because the window was too
+        ill-conditioned (offset far exceeding spread) for any incremental
+        formulation to match the scalar kernels to 1e-9."""
+        return self._exact_fallbacks
+
+    # -- serving-layer accessors (used by repro.service.StreamHub) ------------
+
+    @property
+    def pane_count(self) -> int:
+        """Completed panes currently in the window."""
+        return len(self._buffer)
+
+    @property
+    def last_window(self) -> int | None:
+        """Window selected by the most recent search, if any."""
+        return self._previous_window
+
+    @property
+    def refresh_due(self) -> bool:
+        """True when a deferred refresh boundary is pending (see push_many)."""
+        return self._refresh_due
+
+    def aggregated_values(self) -> np.ndarray:
+        """The aggregated window the next search would run over (a copy)."""
+        return self._buffer.aggregated_values()
+
     # -- operator contract ----------------------------------------------------
 
     def push(self, item: StreamPoint):
         """Ingest one arrival; yields a :class:`Frame` on refresh boundaries."""
+        frames: list[Frame] = []
+        self._run_due_refresh(frames)
         completed = self._buffer.push(item.timestamp, item.value)
-        if completed is None:
-            return ()
-        self._panes_since_refresh += 1
-        if self._panes_since_refresh < self.refresh_interval:
-            return ()
-        self._panes_since_refresh = 0
-        frame = self._refresh()
-        return (frame,) if frame is not None else ()
+        if completed is not None:
+            self._panes_since_refresh += 1
+            if self._panes_since_refresh >= self.refresh_interval:
+                self._panes_since_refresh = 0
+                frame = self._refresh()
+                if frame is not None:
+                    frames.append(frame)
+        return tuple(frames)
+
+    def push_many(self, timestamps, values, defer_boundary: bool = False):
+        """Ingest a batch of arrivals; returns the frames it produced.
+
+        Equivalent to pushing the points one at a time — refresh boundaries
+        that fall *inside* the batch trigger refreshes at exactly the same
+        buffer states — but whole panes are folded with vectorized kernels.
+        With ``defer_boundary=True``, a refresh boundary landing exactly at
+        the end of the batch is *deferred*: the operator marks itself
+        :attr:`refresh_due` instead of refreshing, so a serving layer can
+        coalesce the refresh with other streams (the deferred refresh runs
+        before any further data is folded, preserving per-point semantics).
+        """
+        frames: list[Frame] = []
+        self._run_due_refresh(frames)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        vs = np.asarray(values, dtype=np.float64)
+        i = 0
+        n = vs.size
+        while i < n:
+            pane_size = self._buffer.pane_size
+            panes_needed = self.refresh_interval - self._panes_since_refresh
+            points_to_boundary = (
+                pane_size - self._buffer.open_pane_points + (panes_needed - 1) * pane_size
+            )
+            take = min(points_to_boundary, n - i)
+            self._panes_since_refresh += self._buffer.extend(ts[i : i + take], vs[i : i + take])
+            i += take
+            if self._panes_since_refresh >= self.refresh_interval:
+                self._panes_since_refresh = 0
+                if defer_boundary and i == n:
+                    self._refresh_due = True
+                else:
+                    frame = self._refresh()
+                    if frame is not None:
+                        frames.append(frame)
+        return frames
+
+    def refresh_if_due(self, cache: EvaluationCache | None = None) -> Frame | None:
+        """Run a refresh deferred by ``push_many(..., defer_boundary=True)``.
+
+        *cache* may carry pre-filled candidate evaluations for the current
+        window (the StreamHub coalesces grid-strategy refreshes this way); it
+        is ignored unless it matches the window contents exactly.
+        """
+        if not self._refresh_due:
+            return None
+        self._refresh_due = False
+        return self._refresh(cache=cache)
 
     def flush(self):
         """Emit one final frame for any aggregates since the last refresh."""
-        if self._panes_since_refresh == 0:
-            return ()
-        self._panes_since_refresh = 0
-        frame = self._refresh()
-        return (frame,) if frame is not None else ()
+        frames: list[Frame] = []
+        self._run_due_refresh(frames)
+        if self._panes_since_refresh > 0:
+            self._panes_since_refresh = 0
+            frame = self._refresh()
+            if frame is not None:
+                frames.append(frame)
+        return tuple(frames)
 
     def reset(self) -> None:
         """Drop all window state (e.g. the user scrolled to a new range)."""
         self._buffer.clear()
+        if self._rolling is not None:
+            self._rolling.clear()
         self._panes_since_refresh = 0
         self._previous_window = None
+        self._refresh_due = False
+        self._refreshes_since_rebuild = 0
 
     # -- Algorithm 3 internals --------------------------------------------------
+
+    def _run_due_refresh(self, frames: list[Frame]) -> None:
+        if self._refresh_due:
+            self._refresh_due = False
+            frame = self._refresh()
+            if frame is not None:
+                frames.append(frame)
 
     def _check_last_window(
         self, values: np.ndarray, cache: EvaluationCache
@@ -170,20 +761,72 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             state.candidates_evaluated += 1
         return state
 
-    def _refresh(self) -> Frame | None:
-        values = self._buffer.aggregated_values()
-        if values.size < _MIN_PANES_FOR_SEARCH:
-            return None
-        cache = EvaluationCache(values)
-        if self.strategy == "asap":
-            acf = analyze_acf(
-                values,
-                max_lag=(
-                    min(self.max_window, values.size - 1)
-                    if self.max_window is not None
-                    else None
-                ),
+    def _resolved_max_lag(self, n: int) -> int:
+        lag = default_max_lag(n) if self.max_window is None else min(self.max_window, n - 1)
+        return min(lag, n - 1)
+
+    def _sync_rolling(self) -> None:
+        """Drain journaled pane completions into the rolling state."""
+        assert self._rolling is not None
+        appended = self._buffer.drain_completed_means()
+        if appended.size:
+            self._rolling.extend(appended)
+
+    def _incremental_acf(self, values: np.ndarray) -> ACFAnalysis:
+        assert self._rolling is not None
+        max_lag = self._resolved_max_lag(values.size)
+        correlations = self._rolling.correlations(max_lag)
+        if self.verify_incremental:
+            exact = autocorrelation(values, max_lag)
+            worst = int(np.argmax(np.abs(correlations - exact)))
+            _check_agreement(
+                f"ACF at lag {worst}", float(correlations[worst]), float(exact[worst])
             )
+        return analysis_from_correlations(correlations)
+
+    def _refresh(self, cache: EvaluationCache | None = None) -> Frame | None:
+        if self._rolling is not None:
+            self._sync_rolling()
+        values = self._buffer.aggregated_values()
+        if values.size < MIN_PANES_FOR_SEARCH:
+            return None
+        if cache is not None and (
+            cache.values.size != values.size or not np.array_equal(cache.values, values)
+        ):
+            cache = None  # stale pre-fill (data raced in); fall back to fresh state
+        # Above the conditioning ratio no float64 formulation can agree with
+        # the scalar kernels to 1e-9, so such refreshes run the exact
+        # from-scratch path — agreement by construction.
+        use_incremental = (
+            self._rolling is not None
+            and self._rolling.offset_ratio() <= _EXACT_FALLBACK_RATIO
+        )
+        if self._rolling is not None and not use_incremental:
+            self._exact_fallbacks += 1
+        if cache is None:
+            cache = EvaluationCache(values)
+            if use_incremental:
+                self._refreshes_since_rebuild += 1
+                if self._refreshes_since_rebuild >= self.recompute_every:
+                    self._refreshes_since_rebuild = 0
+                    self._rolling.rebuild()
+                    self._full_recomputes += 1
+                rolling_roughness = self._rolling.roughness()
+                rolling_kurtosis = self._rolling.kurtosis()
+                if self.verify_incremental:
+                    _check_agreement(
+                        "roughness", rolling_roughness, _scalar_roughness(values)
+                    )
+                    _check_agreement(
+                        "kurtosis", rolling_kurtosis, _scalar_kurtosis(values)
+                    )
+                cache.seed_original(rolling_roughness, rolling_kurtosis)
+        if self.strategy == "asap":
+            max_lag = self._resolved_max_lag(values.size)
+            if use_incremental and self._rolling.lag_budget >= max_lag:
+                acf = self._incremental_acf(values)
+            else:
+                acf = analyze_acf(values, max_lag=max_lag)
             state = (
                 self._check_last_window(values, cache)
                 if self.seed_from_previous

@@ -27,7 +27,13 @@ every pre-filled evaluation cache is revalidated against the values the
 pipeline derives on its own.
 """
 
-from .batch_engine import BatchEngine, BatchResult, BatchStats, smooth_many
+from .batch_engine import (
+    BatchEngine,
+    BatchResult,
+    BatchStats,
+    prefill_grid_caches,
+    smooth_many,
+)
 from .cache import ACFCache
 
 __all__ = [
@@ -35,5 +41,6 @@ __all__ = [
     "BatchEngine",
     "BatchResult",
     "BatchStats",
+    "prefill_grid_caches",
     "smooth_many",
 ]

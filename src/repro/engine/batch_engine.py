@@ -45,10 +45,17 @@ from ..spectral.convolution import sma_grid_moments
 from ..timeseries.series import TimeSeries
 from .cache import ACFCache
 
-__all__ = ["BatchEngine", "BatchResult", "BatchStats", "smooth_many"]
+__all__ = [
+    "BatchEngine",
+    "BatchResult",
+    "BatchStats",
+    "smooth_many",
+    "prefill_grid_caches",
+    "GRID_STRATEGY_STEPS",
+]
 
 #: Candidate-grid step per batchable strategy (exhaustive is a step-1 grid).
-_GRID_STEPS = {"exhaustive": 1, "grid2": 2, "grid10": 10}
+GRID_STRATEGY_STEPS = {"exhaustive": 1, "grid2": 2, "grid10": 10}
 
 
 @dataclass(frozen=True)
@@ -168,6 +175,57 @@ def _smooth_one(payload) -> SmoothingResult:
     return smooth(item, **kwargs)
 
 
+def prefill_grid_caches(
+    searched2d: np.ndarray,
+    strategy: str,
+    max_window: int | None = None,
+    kernel: str = "grid",
+) -> list[EvaluationCache]:
+    """One pre-filled :class:`EvaluationCache` per row of a rectangular batch.
+
+    For a grid-shaped strategy, the original-series moments and *every*
+    candidate evaluation of every row are computed by three batched kernels
+    (:func:`~repro.spectral.convolution.sma_grid_moments` and the row-wise
+    moment reductions) and installed into per-row caches, so each row's
+    subsequent search runs entirely on cache hits.  Values are bit-identical
+    to what per-row evaluation would produce (the batched kernels are
+    row-independent).  Shared by :class:`BatchEngine`'s fast path and the
+    StreamHub's coalesced tick refreshes.
+
+    ``searched2d`` must already be the *searched* representation (i.e. after
+    any preaggregation), with at least 4 columns.
+    """
+    rows = np.asarray(searched2d, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-D batch, got shape {rows.shape}")
+    if strategy not in GRID_STRATEGY_STEPS:
+        raise ValueError(
+            f"strategy {strategy!r} has no fixed candidate grid; "
+            f"expected one of {', '.join(GRID_STRATEGY_STEPS)}"
+        )
+    limit = resolve_max_window(rows[0], max_window)
+    grid = list(range(2, limit + 1, GRID_STRATEGY_STEPS[strategy]))
+
+    original_roughness = _row_roughness(rows)
+    original_kurtosis = _row_kurtosis(rows)
+    grid_roughness, grid_kurtosis = sma_grid_moments(rows, grid)
+
+    caches: list[EvaluationCache] = []
+    for index in range(rows.shape[0]):
+        cache = EvaluationCache(rows[index], kernel=kernel)
+        cache.seed_original(original_roughness[index], original_kurtosis[index])
+        cache.seed(
+            WindowEvaluation(
+                window=window,
+                roughness=float(grid_roughness[index, position]),
+                kurtosis=float(grid_kurtosis[index, position]),
+            )
+            for position, window in enumerate(grid)
+        )
+        caches.append(cache)
+    return caches
+
+
 class BatchEngine:
     """A configured multi-series smoothing engine, reusable across refreshes.
 
@@ -280,7 +338,7 @@ class BatchEngine:
         on pre-filled caches.
         """
         if (
-            self.strategy not in _GRID_STEPS
+            self.strategy not in GRID_STRATEGY_STEPS
             or self.kernel != "grid"
             or self._effective_workers() > 1
             or not items
@@ -307,28 +365,15 @@ class BatchEngine:
             searched2d = np.vstack(value_rows)
         if searched2d.shape[1] < 4:
             return None
-        limit = resolve_max_window(searched2d[0], self.max_window)
-        grid = list(range(2, limit + 1, _GRID_STEPS[self.strategy]))
-
-        original_roughness = _row_roughness(searched2d)
-        original_kurtosis = _row_kurtosis(searched2d)
-        grid_roughness, grid_kurtosis = sma_grid_moments(searched2d, grid)
+        caches = prefill_grid_caches(
+            searched2d, self.strategy, max_window=self.max_window, kernel=self.kernel
+        )
 
         results: list[SmoothingResult] = []
         kwargs = self._smooth_kwargs()
         for index, (label, item) in enumerate(zip(labels, items)):
-            cache = EvaluationCache(searched2d[index], kernel=self.kernel)
-            cache.seed_original(original_roughness[index], original_kurtosis[index])
-            cache.seed(
-                WindowEvaluation(
-                    window=window,
-                    roughness=float(grid_roughness[index, position]),
-                    kurtosis=float(grid_kurtosis[index, position]),
-                )
-                for position, window in enumerate(grid)
-            )
             try:
-                results.append(smooth(item, cache=cache, **kwargs))
+                results.append(smooth(item, cache=caches[index], **kwargs))
             except ValueError as exc:
                 raise _labeled(label, index, exc) from exc
         return results

@@ -1,0 +1,40 @@
+"""repro.service — the multi-tenant streaming serving layer (StreamHub).
+
+The production setting the ROADMAP targets — live dashboards for many users —
+multiplexes *many* concurrent streams over one process.  This package manages
+that workload on top of the single-stream operator of
+:mod:`repro.core.streaming`:
+
+* :class:`StreamHub` — create/ingest/tick/snapshot/close streaming sessions
+  by stream id, with thread-safe ingestion, bounded session and pane budgets,
+  and LRU/idle eviction;
+* coalesced refreshes — refresh boundaries landing on the same tick are
+  executed together, and grid-strategy sessions over equal-length windows
+  share a single batched kernel call
+  (:func:`repro.engine.batch_engine.prefill_grid_caches`);
+* incremental refreshes — hub sessions default to the streaming operator's
+  ``incremental=True`` path, so a refresh costs O(new panes) of statistics
+  maintenance rather than O(window log window) recomputation, with the same
+  1e-9 agreement discipline (and its ``verify_incremental`` escape hatch)
+  as the rest of the repo.
+"""
+
+from .hub import (
+    HubAtCapacityError,
+    HubError,
+    HubStats,
+    SessionSnapshot,
+    StreamConfig,
+    StreamHub,
+    UnknownStreamError,
+)
+
+__all__ = [
+    "HubAtCapacityError",
+    "HubError",
+    "HubStats",
+    "SessionSnapshot",
+    "StreamConfig",
+    "StreamHub",
+    "UnknownStreamError",
+]

@@ -1,0 +1,458 @@
+"""StreamHub: many concurrent streaming-ASAP sessions behind one service.
+
+A dashboard server does not smooth one stream — it holds a session per
+charted metric per viewer and refreshes whichever of them crossed their
+on-demand boundary, together.  :class:`StreamHub` is that serving layer:
+
+* **Sessions by id** — ``create_stream`` / ``ingest`` / ``tick`` /
+  ``snapshot`` / ``close``; each session wraps a
+  :class:`~repro.core.streaming.StreamingASAP` configured by a
+  :class:`StreamConfig` (incremental refresh on by default).
+* **Deferred-boundary coalescing** — an ingest whose refresh boundary lands
+  exactly at the end of the batch *defers* the refresh
+  (:meth:`~repro.core.streaming.StreamingASAP.push_many` with
+  ``defer_boundary=True``); :meth:`StreamHub.tick` then executes every due
+  refresh in one pass.  Due sessions running a grid-shaped strategy over
+  equal-length windows are stacked into a single batched kernel call
+  (:func:`repro.engine.batch_engine.prefill_grid_caches`), so the tick pays
+  for the candidate grid once per group instead of once per stream.
+  Boundaries *inside* an ingest batch refresh inline, preserving exact
+  point-by-point semantics.
+* **Backpressure and eviction** — ``max_sessions`` bounds concurrent
+  sessions (LRU eviction or rejection, by policy), ``max_panes_per_session``
+  bounds each session's window memory, and ``idle_ticks_before_eviction``
+  reaps sessions that stopped ingesting.  All evictions are counted in
+  :class:`HubStats`.
+* **Thread safety** — a registry lock plus per-session locks; concurrent
+  ingestion into different streams proceeds without contention, and a
+  refresh that races an ingest falls back to fresh state rather than using a
+  stale pre-fill.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.streaming import MIN_PANES_FOR_SEARCH, Frame, StreamingASAP
+from ..engine.batch_engine import GRID_STRATEGY_STEPS, prefill_grid_caches
+
+__all__ = [
+    "StreamConfig",
+    "StreamHub",
+    "HubStats",
+    "SessionSnapshot",
+    "HubError",
+    "HubAtCapacityError",
+    "UnknownStreamError",
+]
+
+
+class HubError(RuntimeError):
+    """Base class for StreamHub failures."""
+
+
+class HubAtCapacityError(HubError):
+    """The hub is at ``max_sessions`` and its policy rejects new sessions."""
+
+
+class UnknownStreamError(HubError, KeyError):
+    """No session exists under the requested stream id."""
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Per-session configuration, mirroring :class:`StreamingASAP`'s knobs.
+
+    Two serving-layer differences in defaults: ``incremental=True`` — hub
+    sessions maintain their ACF and moment statistics incrementally, so a
+    refresh costs O(new panes) of bookkeeping rather than O(window log
+    window) recomputation (``verify_incremental`` is the exact-recompute
+    escape hatch, and ``recompute_every`` bounds drift) — and
+    ``keep_pane_sketches=False``, which skips per-pane raw-moment state the
+    serving path never reads.  Neither changes any emitted frame.
+    """
+
+    pane_size: int = 1
+    resolution: int = 800
+    refresh_interval: int = 10
+    strategy: str = "asap"
+    max_window: int | None = None
+    seed_from_previous: bool = True
+    incremental: bool = True
+    recompute_every: int = 64
+    verify_incremental: bool = False
+    keep_pane_sketches: bool = False
+
+    def build_operator(self) -> StreamingASAP:
+        return StreamingASAP(
+            pane_size=self.pane_size,
+            resolution=self.resolution,
+            refresh_interval=self.refresh_interval,
+            strategy=self.strategy,
+            max_window=self.max_window,
+            seed_from_previous=self.seed_from_previous,
+            incremental=self.incremental,
+            recompute_every=self.recompute_every,
+            verify_incremental=self.verify_incremental,
+            keep_pane_sketches=self.keep_pane_sketches,
+        )
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Read-only view of one session's state (no refresh is triggered)."""
+
+    stream_id: str
+    panes: int
+    points_ingested: int
+    refresh_count: int
+    last_window: int | None
+    refresh_due: bool
+    frames_emitted: int
+    created_tick: int
+    last_active_tick: int
+    config: StreamConfig
+
+
+@dataclass(frozen=True)
+class HubStats:
+    """Aggregate accounting across the hub's lifetime."""
+
+    sessions_active: int
+    sessions_created: int
+    sessions_closed: int
+    sessions_evicted: int
+    ticks: int
+    points_ingested: int
+    frames_emitted: int
+    refreshes_coalesced: int
+    grid_kernel_calls: int
+
+
+@dataclass
+class _Session:
+    stream_id: str
+    operator: StreamingASAP
+    config: StreamConfig
+    created_tick: int
+    last_active_tick: int
+    frames_emitted: int = 0
+    closed: bool = False  # set under `lock`; guards ingest/close races
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+class StreamHub:
+    """A multi-tenant streaming-ASAP service; see the module docstring.
+
+    Parameters
+    ----------
+    max_sessions:
+        Concurrent session ceiling.  Creating a session beyond it either
+        evicts the least-recently-active session (``eviction_policy="lru"``,
+        the default) or raises :class:`HubAtCapacityError`
+        (``eviction_policy="reject"``).
+    max_panes_per_session:
+        Upper bound on any session's window (``resolution``); configurations
+        requesting more are rejected at ``create_stream`` time.  This bounds
+        the hub's worst-case memory at roughly
+        ``max_sessions * max_panes_per_session`` aggregated points.
+    default_config:
+        Session configuration used when ``create_stream`` gets no overrides.
+    idle_ticks_before_eviction:
+        When set, :meth:`tick` evicts sessions that have not ingested for
+        more than this many ticks.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 1024,
+        max_panes_per_session: int = 4096,
+        default_config: StreamConfig | None = None,
+        eviction_policy: str = "lru",
+        idle_ticks_before_eviction: int | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_panes_per_session < 1:
+            raise ValueError(
+                f"max_panes_per_session must be >= 1, got {max_panes_per_session}"
+            )
+        if eviction_policy not in ("lru", "reject"):
+            raise ValueError(
+                f"eviction_policy must be 'lru' or 'reject', got {eviction_policy!r}"
+            )
+        if idle_ticks_before_eviction is not None and idle_ticks_before_eviction < 1:
+            raise ValueError(
+                "idle_ticks_before_eviction must be >= 1 or None, "
+                f"got {idle_ticks_before_eviction}"
+            )
+        self.max_sessions = max_sessions
+        self.max_panes_per_session = max_panes_per_session
+        self.default_config = default_config or StreamConfig()
+        self.eviction_policy = eviction_policy
+        self.idle_ticks_before_eviction = idle_ticks_before_eviction
+        self._sessions: dict[str, _Session] = {}
+        self._lock = threading.RLock()
+        self._auto_ids = itertools.count()
+        self._tick = 0
+        self._sessions_created = 0
+        self._sessions_closed = 0
+        self._sessions_evicted = 0
+        self._points_ingested = 0
+        self._frames_emitted = 0
+        self._refreshes_coalesced = 0
+        self._grid_kernel_calls = 0
+
+    # -- session lifecycle -----------------------------------------------------
+
+    def create_stream(
+        self,
+        stream_id: str | None = None,
+        config: StreamConfig | None = None,
+        **overrides,
+    ) -> str:
+        """Register a new streaming session and return its id.
+
+        *overrides* patch individual :class:`StreamConfig` fields on top of
+        *config* (or the hub default), e.g. ``create_stream(pane_size=4)``.
+        """
+        cfg = config or self.default_config
+        if overrides:
+            cfg = dataclasses.replace(cfg, **overrides)
+        if cfg.resolution > self.max_panes_per_session:
+            raise HubError(
+                f"resolution {cfg.resolution} exceeds max_panes_per_session "
+                f"{self.max_panes_per_session}"
+            )
+        with self._lock:
+            if stream_id is None:
+                stream_id = f"stream-{next(self._auto_ids)}"
+                while stream_id in self._sessions:
+                    stream_id = f"stream-{next(self._auto_ids)}"
+            elif stream_id in self._sessions:
+                raise HubError(f"stream id {stream_id!r} already exists")
+            if len(self._sessions) >= self.max_sessions:
+                if self.eviction_policy == "reject":
+                    raise HubAtCapacityError(
+                        f"hub is at max_sessions={self.max_sessions}"
+                    )
+                victim = min(
+                    self._sessions.values(),
+                    key=lambda s: (s.last_active_tick, s.created_tick),
+                )
+                with victim.lock:
+                    victim.closed = True  # in-flight ingests must fail, as on close()
+                del self._sessions[victim.stream_id]
+                self._sessions_evicted += 1
+            self._sessions[stream_id] = _Session(
+                stream_id=stream_id,
+                operator=cfg.build_operator(),
+                config=cfg,
+                created_tick=self._tick,
+                last_active_tick=self._tick,
+            )
+            self._sessions_created += 1
+        return stream_id
+
+    def close(self, stream_id: str, flush: bool = True) -> list[Frame]:
+        """Remove a session; with *flush*, emit its final pending frame(s)."""
+        with self._lock:
+            session = self._sessions.pop(stream_id, None)
+            if session is None:
+                raise UnknownStreamError(stream_id)
+            self._sessions_closed += 1
+        frames: list[Frame] = []
+        with session.lock:
+            session.closed = True
+            if flush:
+                frames = list(session.operator.flush())
+        with self._lock:
+            self._frames_emitted += len(frames)
+        return frames
+
+    def _get(self, stream_id: str) -> _Session:
+        with self._lock:
+            session = self._sessions.get(stream_id)
+        if session is None:
+            raise UnknownStreamError(stream_id)
+        return session
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(self, stream_id: str, timestamps, values) -> list[Frame]:
+        """Fold a batch of arrivals into one stream; return inline frames.
+
+        Refresh boundaries inside the batch refresh immediately (exact
+        point-by-point semantics); a boundary at the end of the batch is
+        deferred to the next :meth:`tick`, where it is coalesced with every
+        other due stream.
+        """
+        session = self._get(stream_id)
+        vs = np.asarray(values, dtype=np.float64)
+        with session.lock:
+            # Re-check under the session lock: a close() may have raced in
+            # between the registry lookup and here.
+            if session.closed:
+                raise UnknownStreamError(stream_id)
+            frames = session.operator.push_many(timestamps, vs, defer_boundary=True)
+            session.last_active_tick = self._tick
+            session.frames_emitted += len(frames)
+        with self._lock:
+            self._points_ingested += int(vs.size)
+            self._frames_emitted += len(frames)
+        return frames
+
+    def ingest_point(self, stream_id: str, timestamp: float, value: float) -> list[Frame]:
+        """Fold one arrival; single-point convenience wrapper over ingest."""
+        return self.ingest(stream_id, [timestamp], [value])
+
+    # -- coalesced refresh -----------------------------------------------------
+
+    def tick(self) -> dict[str, list[Frame]]:
+        """Execute every deferred refresh; return emitted frames by stream id.
+
+        Due sessions running a grid-shaped strategy (exhaustive/grid2/grid10)
+        over equal-length windows are grouped, and each group's entire
+        candidate grid is evaluated by one batched kernel call; the remaining
+        due sessions (ASAP/binary, or singleton groups) refresh individually
+        on their incremental state.  Also advances the hub clock and reaps
+        idle sessions when ``idle_ticks_before_eviction`` is set.
+        """
+        with self._lock:
+            self._tick += 1
+            sessions = list(self._sessions.values())
+
+        due: list[_Session] = []
+        for session in sessions:
+            with session.lock:
+                if not session.closed and session.operator.refresh_due:
+                    due.append(session)
+
+        groups: dict[tuple, list[tuple[_Session, np.ndarray]]] = {}
+        singles: list[_Session] = []
+        for session in due:
+            operator = session.operator
+            with session.lock:
+                panes = operator.pane_count
+                if (
+                    operator.strategy in GRID_STRATEGY_STEPS
+                    and panes >= MIN_PANES_FOR_SEARCH
+                ):
+                    key = (operator.strategy, panes, operator.max_window)
+                    groups.setdefault(key, []).append(
+                        (session, operator.aggregated_values())
+                    )
+                else:
+                    singles.append(session)
+
+        emitted: dict[str, list[Frame]] = {}
+
+        def record(session: _Session, frame: Frame | None) -> None:
+            if frame is None:
+                return
+            emitted.setdefault(session.stream_id, []).append(frame)
+            session.frames_emitted += 1
+
+        coalesced = 0
+        kernel_calls = 0
+        for (strategy, _panes, max_window), members in groups.items():
+            if len(members) < 2:
+                singles.extend(session for session, _values in members)
+                continue
+            rows = np.vstack([values for _session, values in members])
+            caches = prefill_grid_caches(rows, strategy, max_window=max_window)
+            kernel_calls += 1
+            coalesced += len(members)
+            for (session, _values), cache in zip(members, caches):
+                with session.lock:
+                    if not session.closed:
+                        record(session, session.operator.refresh_if_due(cache=cache))
+        for session in singles:
+            with session.lock:
+                if not session.closed:
+                    record(session, session.operator.refresh_if_due())
+
+        evicted = 0
+        if self.idle_ticks_before_eviction is not None:
+            with self._lock:
+                stale = [
+                    session
+                    for session in self._sessions.values()
+                    if self._tick - session.last_active_tick
+                    > self.idle_ticks_before_eviction
+                ]
+                for session in stale:
+                    with session.lock:
+                        session.closed = True  # as on close(): fail racing ingests
+                    del self._sessions[session.stream_id]
+                evicted = len(stale)
+
+        with self._lock:
+            self._refreshes_coalesced += coalesced
+            self._grid_kernel_calls += kernel_calls
+            self._sessions_evicted += evicted
+            self._frames_emitted += sum(len(frames) for frames in emitted.values())
+        return emitted
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, stream_id: str) -> bool:
+        with self._lock:
+            return stream_id in self._sessions
+
+    def stream_ids(self) -> list[str]:
+        """Ids of every active session (insertion order)."""
+        with self._lock:
+            return list(self._sessions)
+
+    def snapshot(self, stream_id: str) -> SessionSnapshot:
+        """Point-in-time view of one session; never triggers a refresh."""
+        session = self._get(stream_id)
+        with session.lock:
+            if session.closed:
+                raise UnknownStreamError(stream_id)
+            operator = session.operator
+            return SessionSnapshot(
+                stream_id=session.stream_id,
+                panes=operator.pane_count,
+                points_ingested=operator.points_ingested,
+                refresh_count=operator.refresh_count,
+                last_window=operator.last_window,
+                refresh_due=operator.refresh_due,
+                frames_emitted=session.frames_emitted,
+                created_tick=session.created_tick,
+                last_active_tick=session.last_active_tick,
+                config=session.config,
+            )
+
+    @property
+    def stats(self) -> HubStats:
+        """Aggregate hub accounting (sessions, points, frames, coalescing)."""
+        with self._lock:
+            return HubStats(
+                sessions_active=len(self._sessions),
+                sessions_created=self._sessions_created,
+                sessions_closed=self._sessions_closed,
+                sessions_evicted=self._sessions_evicted,
+                ticks=self._tick,
+                points_ingested=self._points_ingested,
+                frames_emitted=self._frames_emitted,
+                refreshes_coalesced=self._refreshes_coalesced,
+                grid_kernel_calls=self._grid_kernel_calls,
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"StreamHub(sessions={len(self._sessions)}/{self.max_sessions}, "
+                f"ticks={self._tick}, policy={self.eviction_policy!r})"
+            )

@@ -32,6 +32,7 @@ summation order than the scalar two-pass reference).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
@@ -46,6 +47,8 @@ __all__ = [
     "prefix_moment_stack",
     "windowed_moment_sums",
     "sma_grid_moments",
+    "sma_window_moments",
+    "cross_product_sums",
 ]
 
 #: Upper bound on elements materialized per chunk by the grid kernels.  The
@@ -241,6 +244,74 @@ def windowed_moment_sums(stack: np.ndarray, window: int) -> np.ndarray:
     n = stack.shape[1] - 1
     _validate_window(n, window)
     return stack[:, window:] - stack[:, :-window]
+
+
+def sma_window_moments(values, window: int) -> tuple[float, float]:
+    """Roughness and kurtosis of ``SMA(x, window)`` for one candidate window.
+
+    Bit-identical to ``sma_grid_moments(values, [window])`` — it performs the
+    same operations on the same padded buffers in the same order, minus the
+    grid/batch bookkeeping — so single-candidate probes (binary-search steps,
+    streaming revalidation of the previous window) skip the 3-D machinery.
+    The equivalence is pinned by ``tests/spectral``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    n = arr.size
+    _validate_window(n, window)
+    window = int(window)
+    span = n - window + 1
+    count = float(span)
+    smoothed = np.zeros(n, dtype=np.float64)
+    if window == 1:
+        smoothed[:] = arr
+    else:
+        prefix = np.zeros(n + 1, dtype=np.float64)
+        np.cumsum(arr, out=prefix[1:])
+        smoothed[:span] = (prefix[window : window + span] - prefix[:span]) / float(window)
+
+    mean = smoothed.sum() / count
+    centered = np.zeros(n, dtype=np.float64)
+    centered[:span] = smoothed[:span] - mean
+    squared = centered * centered
+    second = squared.sum() / count
+    fourth = (squared * squared).sum() / count
+    kurtosis = fourth / (second * second) if second > 0.0 else 0.0
+
+    diff_count = max(count - 1.0, 1.0)
+    diffs = np.zeros(n - 1, dtype=np.float64)
+    if span >= 2:
+        diffs[: span - 1] = smoothed[1:span] - smoothed[: span - 1]
+    diff_mean = diffs.sum() / diff_count
+    diff_centered = np.zeros(n - 1, dtype=np.float64)
+    if span >= 2:
+        diff_centered[: span - 1] = diffs[: span - 1] - diff_mean
+    diff_var = (diff_centered * diff_centered).sum() / diff_count
+    roughness = math.sqrt(diff_var) if count >= 2.0 else 0.0
+    return roughness, kurtosis
+
+
+def cross_product_sums(values, max_lag: int) -> np.ndarray:
+    """Lagged cross-product sums ``s[k] = sum_i x[i] * x[i + k]``, k = 0..max_lag.
+
+    These are the raw sufficient statistics of the autocorrelation estimator:
+    together with the window's ordinary sums they determine the full
+    correlogram (see :mod:`repro.core.acf`).  The streaming operator maintains
+    them incrementally — one O(max_lag) update per arriving pane — and uses
+    this kernel for its periodic from-scratch recomputation, so the exact
+    values the incremental path drifts toward are defined in one place.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    n = arr.size
+    if not 0 <= max_lag < max(n, 1):
+        raise ValueError(f"max_lag must be in [0, {n}), got {max_lag}")
+    out = np.empty(max_lag + 1, dtype=np.float64)
+    for k in range(max_lag + 1):
+        out[k] = float(np.dot(arr[: n - k], arr[k:]))
+    return out
 
 
 def sma_grid_moments(values, windows) -> tuple[np.ndarray, np.ndarray]:

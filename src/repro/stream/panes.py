@@ -11,6 +11,17 @@ visible window is a bounded deque of completed panes.
 value per completed pane) for the search routine, evicts panes beyond the
 configured capacity, and keeps per-pane :class:`MomentSketch` state so window
 statistics remain available without raw data.
+
+Two serving-path refinements over the original per-point structure:
+
+* completed-pane means and start timestamps are mirrored into contiguous
+  rolling arrays, so :meth:`PaneBuffer.aggregated_values` is a memcpy of a
+  slice instead of a Python iteration over the deque — the per-refresh read
+  path of the streaming operator;
+* :meth:`PaneBuffer.extend` folds whole panes with vectorized Welford updates
+  (bit-identical to the per-point recurrence, candidate by candidate), so
+  batch ingestion — the StreamHub hot path — costs O(pane_size) numpy passes
+  per call instead of O(points) Python-level updates.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ import numpy as np
 
 from .aggregates import MomentSketch
 
-__all__ = ["Pane", "PaneBuffer"]
+__all__ = ["Pane", "PaneBuffer", "DiscardedState", "RollingArray"]
 
 
 @dataclass
@@ -46,6 +57,135 @@ class Pane:
         return self.sketch.mean
 
 
+@dataclass(frozen=True)
+class DiscardedState:
+    """What a :meth:`PaneBuffer.reset` threw away — reset is explicit, not silent.
+
+    ``open_pane_points``/``open_pane_start`` describe the trailing *partial*
+    pane: points that were pushed but never completed a pane and therefore
+    never appeared in :meth:`PaneBuffer.aggregated_values`.  Callers that
+    re-use a buffer across ranges can use this to account for (or re-ingest)
+    the dropped tail instead of losing it silently.
+    """
+
+    completed_panes: int
+    evicted_panes: int
+    total_points: int
+    open_pane_points: int
+    open_pane_start: float | None
+
+    @property
+    def dropped_partial_pane(self) -> bool:
+        """True when a trailing partial pane (and its timestamps) was discarded."""
+        return self.open_pane_points > 0
+
+
+class RollingArray:
+    """Contiguous sliding float64 storage with amortized O(1) append.
+
+    Sized for roughly ``capacity + 1`` live values (one slot of slack for an
+    append-then-evict sequence; bulk appends may briefly hold up to
+    ``2 * capacity``).  The backing buffer is twice that size; when the write
+    head reaches the end, the live span is shifted back to the front — at
+    most one copy of ``capacity`` elements per ``capacity`` appends.
+    ``view()`` is always a contiguous slice, so readers get memcpy
+    performance and vectorized kernels can consume it directly.  Shared by
+    :class:`PaneBuffer` (pane means/timestamps) and
+    :class:`repro.core.streaming.RollingWindowState` (window values).
+    """
+
+    __slots__ = ("_buf", "_head", "_tail")
+
+    def __init__(self, capacity: int) -> None:
+        self._buf = np.empty(2 * (capacity + 1), dtype=np.float64)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def _make_room(self, extra: int) -> None:
+        if self._tail + extra <= self._buf.size:
+            return
+        length = self._tail - self._head
+        if length + extra > self._buf.size:
+            grown = np.empty(2 * (length + extra), dtype=np.float64)
+            grown[:length] = self._buf[self._head : self._tail]
+            self._buf = grown
+        else:
+            self._buf[:length] = self._buf[self._head : self._tail]
+        self._head = 0
+        self._tail = length
+
+    def append(self, value: float) -> None:
+        self._make_room(1)
+        self._buf[self._tail] = value
+        self._tail += 1
+
+    def append_many(self, values: np.ndarray) -> None:
+        self._make_room(values.size)
+        self._buf[self._tail : self._tail + values.size] = values
+        self._tail += values.size
+
+    def popleft(self, count: int = 1) -> None:
+        self._head += count
+
+    def view(self) -> np.ndarray:
+        """The live span (no copy); valid until the next append."""
+        return self._buf[self._head : self._tail]
+
+    def clear(self) -> None:
+        self._head = 0
+        self._tail = 0
+
+
+def _bulk_welford_means(block: np.ndarray) -> np.ndarray:
+    """Per-row Welford means of a ``(panes, pane_size)`` block.
+
+    The mean recurrence of :meth:`MomentSketch.update` does not depend on the
+    higher-moment state, so replaying just ``mean += delta / count`` column by
+    column yields means bit-identical to the full sketch chain at a fraction
+    of the work — the sketch-free fast path of batch ingestion.
+    """
+    n_panes, pane_size = block.shape
+    mean = np.zeros(n_panes, dtype=np.float64)
+    for j in range(pane_size):
+        mean = mean + (block[:, j] - mean) / (j + 1)
+    return mean
+
+
+def _bulk_welford(block: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row Welford/Terriberry moments of a ``(panes, pane_size)`` block.
+
+    Replays :meth:`repro.stream.aggregates.MomentSketch.update` column by
+    column with array operands, so every row's ``(mean, m2, m3, m4)`` is
+    bit-identical to folding that row's values through a sketch one at a
+    time — the property that keeps batch ingestion interchangeable with the
+    per-point path.
+    """
+    n_panes, pane_size = block.shape
+    mean = np.zeros(n_panes, dtype=np.float64)
+    m2 = np.zeros(n_panes, dtype=np.float64)
+    m3 = np.zeros(n_panes, dtype=np.float64)
+    m4 = np.zeros(n_panes, dtype=np.float64)
+    for j in range(pane_size):
+        n1 = j
+        count = j + 1
+        delta = block[:, j] - mean
+        delta_n = delta / count
+        delta_n2 = delta_n * delta_n
+        term1 = delta * delta_n * n1
+        mean = mean + delta_n
+        m4 = m4 + (
+            term1 * delta_n2 * (count * count - 3 * count + 3)
+            + 6.0 * delta_n2 * m2
+            - 4.0 * delta_n * m3
+        )
+        m3 = m3 + (term1 * delta_n * (count - 2) - 3.0 * delta_n * m2)
+        m2 = m2 + term1
+    return mean, m2, m3, m4
+
+
 class PaneBuffer:
     """Fixed-capacity ring of panes fed one raw point at a time.
 
@@ -57,21 +197,58 @@ class PaneBuffer:
     capacity:
         Maximum number of *completed* panes retained (the visualized window,
         e.g. the target resolution in pixels).  Older panes are evicted.
+    journal:
+        When True, the mean of every completed pane is additionally appended
+        to a journal drained by :meth:`drain_completed_means` — the feed for
+        incrementally maintained window statistics (evictions need no journal
+        entry: a consumer replaying appends against the same ``capacity``
+        reproduces the eviction order exactly).
+    keep_sketches:
+        When False, completed panes keep only their mean and start timestamp
+        (no retained :class:`Pane`/:class:`MomentSketch` objects), which cuts
+        batch-ingest cost roughly in half; :meth:`window_sketch` becomes
+        unavailable.  Aggregated means are bit-identical either way — the
+        Welford mean recurrence does not depend on the higher moments.
     """
 
-    def __init__(self, pane_size: int, capacity: int) -> None:
+    def __init__(
+        self,
+        pane_size: int,
+        capacity: int,
+        journal: bool = False,
+        keep_sketches: bool = True,
+    ) -> None:
         if pane_size < 1:
             raise ValueError(f"pane_size must be >= 1, got {pane_size}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.pane_size = pane_size
         self.capacity = capacity
+        self.journal = journal
+        self.keep_sketches = keep_sketches
         self._panes: deque[Pane] = deque()
+        self._means = RollingArray(capacity)
+        self._times = RollingArray(capacity)
         self._open: Pane | None = None
         self._total_points = 0
         self._evicted_panes = 0
+        self._pending_means: list[float] = []
 
     # -- ingest --------------------------------------------------------------
+
+    def _complete(self, pane: Pane) -> None:
+        if self.keep_sketches:
+            self._panes.append(pane)
+        self._means.append(pane.mean)
+        self._times.append(pane.start_time)
+        if self.journal:
+            self._pending_means.append(pane.mean)
+        if len(self._means) > self.capacity:
+            if self._panes:
+                self._panes.popleft()
+            self._means.popleft()
+            self._times.popleft()
+            self._evicted_panes += 1
 
     def push(self, timestamp: float, value: float) -> Pane | None:
         """Fold one arrival in; return the pane it *completed*, if any."""
@@ -82,25 +259,108 @@ class PaneBuffer:
         if self._open.count >= self.pane_size:
             completed = self._open
             self._open = None
-            self._panes.append(completed)
-            if len(self._panes) > self.capacity:
-                self._panes.popleft()
-                self._evicted_panes += 1
+            self._complete(completed)
             return completed
         return None
 
     def extend(self, timestamps, values) -> int:
-        """Push a batch; return how many panes were completed."""
+        """Push a batch; return how many panes were completed.
+
+        Whole panes are folded with vectorized Welford updates — bit-identical
+        to pushing the same points one at a time — so batch ingestion costs
+        O(pane_size) numpy passes instead of O(points) Python updates.  A
+        trailing group smaller than ``pane_size`` stays in the open pane,
+        exactly as with :meth:`push`; *timestamps* and *values* must have
+        equal lengths (a mismatch raises instead of silently truncating).
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        vs = np.asarray(values, dtype=np.float64)
+        if ts.ndim != 1 or vs.ndim != 1:
+            raise ValueError(
+                f"extend expects 1-D timestamps and values, got shapes {ts.shape} and {vs.shape}"
+            )
+        if ts.size != vs.size:
+            raise ValueError(
+                f"timestamps and values must have equal lengths, got {ts.size} and {vs.size}"
+            )
         completed = 0
-        for timestamp, value in zip(timestamps, values):
-            if self.push(float(timestamp), float(value)) is not None:
+        i = 0
+        n = vs.size
+        # Finish the currently open pane point by point (at most pane_size - 1
+        # iterations), so the bulk phase starts on a pane boundary.
+        while i < n and self._open is not None:
+            if self.push(float(ts[i]), float(vs[i])) is not None:
+                completed += 1
+            i += 1
+        n_full = (n - i) // self.pane_size
+        if n_full > self.capacity:
+            # Backfill larger than the window: only the last `capacity` panes
+            # can survive this call, so the leading panes are accounted as
+            # completed-then-evicted without ever materializing retained
+            # state — peak memory stays O(capacity), not O(batch).  Their
+            # means still enter the journal (the journal is the replay log of
+            # every completion).
+            skipped = n_full - self.capacity
+            skipped_span = skipped * self.pane_size
+            if self.journal:
+                block = vs[i : i + skipped_span].reshape(skipped, self.pane_size)
+                self._pending_means.extend(_bulk_welford_means(block).tolist())
+            self._evicted_panes += skipped + len(self._means)
+            self._panes.clear()
+            self._means.clear()
+            self._times.clear()
+            self._total_points += skipped_span
+            completed += skipped
+            i += skipped_span
+            n_full = self.capacity
+        if n_full > 0:
+            span = n_full * self.pane_size
+            block = vs[i : i + span].reshape(n_full, self.pane_size)
+            starts = np.array(ts[i : i + span : self.pane_size], dtype=np.float64)
+            pane_size = self.pane_size
+            if self.keep_sketches:
+                mean, m2, m3, m4 = _bulk_welford(block)
+                self._panes.extend(
+                    Pane(
+                        start_time=float(starts[p]),
+                        sketch=MomentSketch(
+                            count=pane_size,
+                            mean=float(mean[p]),
+                            m2=float(m2[p]),
+                            m3=float(m3[p]),
+                            m4=float(m4[p]),
+                        ),
+                    )
+                    for p in range(n_full)
+                )
+            else:
+                mean = _bulk_welford_means(block)
+            self._means.append_many(mean)
+            self._times.append_many(starts)
+            if self.journal:
+                self._pending_means.extend(mean.tolist())
+            overflow = len(self._means) - self.capacity
+            if overflow > 0:
+                if overflow >= len(self._panes):
+                    self._panes.clear()
+                else:
+                    for _ in range(overflow):
+                        self._panes.popleft()
+                self._means.popleft(overflow)
+                self._times.popleft(overflow)
+                self._evicted_panes += overflow
+            self._total_points += span
+            completed += n_full
+            i += span
+        for j in range(i, n):
+            if self.push(float(ts[j]), float(vs[j])) is not None:
                 completed += 1
         return completed
 
     # -- views ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._panes)
+        return len(self._means)
 
     @property
     def total_points(self) -> int:
@@ -112,24 +372,77 @@ class PaneBuffer:
         """Completed panes dropped because the buffer exceeded capacity."""
         return self._evicted_panes
 
+    @property
+    def open_pane_points(self) -> int:
+        """Points in the trailing partial pane (not yet aggregated)."""
+        return self._open.count if self._open is not None else 0
+
+    @property
+    def open_pane_start(self) -> float | None:
+        """Start timestamp of the trailing partial pane, if one is open."""
+        return self._open.start_time if self._open is not None else None
+
     def aggregated_values(self) -> np.ndarray:
         """Mean of each completed pane, oldest first — the search's input."""
-        return np.asarray([pane.mean for pane in self._panes], dtype=np.float64)
+        return self._means.view().copy()
 
     def aggregated_timestamps(self) -> np.ndarray:
         """Start timestamp of each completed pane."""
-        return np.asarray([pane.start_time for pane in self._panes], dtype=np.float64)
+        return self._times.view().copy()
 
     def window_sketch(self) -> MomentSketch:
         """Merged moments across every completed pane (raw-point statistics)."""
+        if not self.keep_sketches:
+            raise ValueError("PaneBuffer was constructed with keep_sketches=False")
         merged = MomentSketch()
         for pane in self._panes:
             merged.merge(pane.sketch)
         return merged
 
-    def clear(self) -> None:
-        """Drop all state (e.g. when the visualized range changes)."""
+    def drain_completed_means(self) -> np.ndarray:
+        """Journaled means of panes completed since the last drain.
+
+        Requires ``journal=True``; consumers replaying these appends against a
+        window of the same ``capacity`` observe the exact append/evict order
+        the buffer itself went through.
+        """
+        if not self.journal:
+            raise ValueError("PaneBuffer was constructed with journal=False")
+        drained = np.asarray(self._pending_means, dtype=np.float64)
+        self._pending_means = []
+        return drained
+
+    # -- reset ---------------------------------------------------------------
+
+    def reset(self) -> DiscardedState:
+        """Drop all state and report exactly what was discarded.
+
+        The report includes the trailing partial pane (points pushed since the
+        last pane boundary, and their start timestamp), which the aggregated
+        views never exposed — resetting mid-pane is a lossy operation and this
+        makes the loss explicit rather than silent.
+        """
+        discarded = DiscardedState(
+            completed_panes=len(self._means),
+            evicted_panes=self._evicted_panes,
+            total_points=self._total_points,
+            open_pane_points=self.open_pane_points,
+            open_pane_start=self.open_pane_start,
+        )
         self._panes.clear()
+        self._means.clear()
+        self._times.clear()
         self._open = None
         self._total_points = 0
         self._evicted_panes = 0
+        self._pending_means = []
+        return discarded
+
+    def clear(self) -> None:
+        """Drop all state (e.g. when the visualized range changes).
+
+        Equivalent to :meth:`reset` with the discard report ignored — any
+        trailing partial pane is dropped; use :meth:`reset` when the caller
+        needs to account for it.
+        """
+        self.reset()

@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.spectral.convolution import sliding_max, sliding_min, sma, sma_with_slide
+from repro.spectral.convolution import (
+    cross_product_sums,
+    sliding_max,
+    sliding_min,
+    sma,
+    sma_with_slide,
+)
 
 
 def naive_sma(values, window):
@@ -115,3 +121,25 @@ class TestSlidingExtrema:
         values = np.random.default_rng(seed).normal(size=n)
         window = max(n // 3, 1)
         assert np.all(sliding_min(values, window) <= sliding_max(values, window))
+
+
+class TestCrossProductSums:
+    def test_matches_direct_dot_products(self):
+        rng = np.random.default_rng(17)
+        values = rng.normal(size=50)
+        sums = cross_product_sums(values, 12)
+        assert sums.shape == (13,)
+        for k in range(13):
+            assert sums[k] == pytest.approx(float(np.dot(values[: 50 - k], values[k:])))
+
+    def test_lag_zero_is_energy(self):
+        values = np.array([1.0, -2.0, 3.0])
+        assert cross_product_sums(values, 0)[0] == pytest.approx(14.0)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            cross_product_sums(np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError):
+            cross_product_sums(np.zeros(4), 4)
+        with pytest.raises(ValueError):
+            cross_product_sums(np.zeros(4), -1)

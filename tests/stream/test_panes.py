@@ -79,6 +79,147 @@ class TestWindowSketch:
         assert buffer.window_sketch().count == 5
 
 
+class TestVectorizedExtend:
+    def test_extend_bit_identical_to_pushes(self, rng):
+        # The batch path must be indistinguishable from per-point pushes:
+        # same means, timestamps, eviction counts, and pane sketch state.
+        for trial in range(25):
+            pane_size = int(rng.integers(1, 7))
+            capacity = int(rng.integers(1, 9))
+            n = int(rng.integers(0, 80))
+            ts = np.cumsum(rng.random(n))
+            vs = rng.normal(size=n) * 10.0 ** float(rng.integers(-2, 3))
+            pointwise = PaneBuffer(pane_size, capacity)
+            batched = PaneBuffer(pane_size, capacity)
+            completed_pointwise = sum(
+                pointwise.push(float(t), float(v)) is not None for t, v in zip(ts, vs)
+            )
+            completed_batched = 0
+            i = 0
+            while i < n:
+                step = int(rng.integers(1, 16))
+                completed_batched += batched.extend(ts[i : i + step], vs[i : i + step])
+                i += step
+            assert completed_pointwise == completed_batched
+            assert np.array_equal(pointwise.aggregated_values(), batched.aggregated_values())
+            assert np.array_equal(
+                pointwise.aggregated_timestamps(), batched.aggregated_timestamps()
+            )
+            assert pointwise.evicted_panes == batched.evicted_panes
+            assert pointwise.open_pane_points == batched.open_pane_points
+            a, b = pointwise.window_sketch(), batched.window_sketch()
+            assert (a.count, a.mean, a.m2, a.m3, a.m4) == (b.count, b.mean, b.m2, b.m3, b.m4)
+
+    def test_giant_backfill_matches_pushes_and_stays_bounded(self):
+        # A backfill much larger than the window must leave exactly the state
+        # per-point pushes would — same retained panes, counts, journal —
+        # without pinning O(batch) memory in the rolling arrays.
+        n = 20_000
+        rng = np.random.default_rng(8)
+        ts = np.arange(n, dtype=np.float64)
+        vs = rng.normal(size=n)
+        for pane_size, capacity in ((1, 50), (3, 40), (7, 8)):
+            pointwise = PaneBuffer(pane_size, capacity, journal=True)
+            for t, v in zip(ts, vs):
+                pointwise.push(float(t), float(v))
+            batched = PaneBuffer(pane_size, capacity, journal=True)
+            completed = batched.extend(ts, vs)
+            assert completed == n // pane_size
+            assert np.array_equal(pointwise.aggregated_values(), batched.aggregated_values())
+            assert np.array_equal(
+                pointwise.aggregated_timestamps(), batched.aggregated_timestamps()
+            )
+            assert pointwise.evicted_panes == batched.evicted_panes
+            assert pointwise.total_points == batched.total_points
+            assert np.array_equal(
+                pointwise.drain_completed_means(), batched.drain_completed_means()
+            )
+            a, b = pointwise.window_sketch(), batched.window_sketch()
+            assert (a.count, a.mean, a.m2, a.m3, a.m4) == (b.count, b.mean, b.m2, b.m3, b.m4)
+            # Rolling storage stayed O(capacity), not O(batch).
+            assert batched._means._buf.size <= 2 * (capacity + 1)
+
+    def test_extend_rejects_mismatched_lengths(self):
+        buffer = PaneBuffer(pane_size=2, capacity=4)
+        with pytest.raises(ValueError, match="equal lengths"):
+            buffer.extend([0.0, 1.0, 2.0], [1.0, 2.0])
+
+    def test_extend_rejects_non_1d(self):
+        buffer = PaneBuffer(pane_size=2, capacity=4)
+        with pytest.raises(ValueError):
+            buffer.extend(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestResetSemantics:
+    def test_reset_reports_dropped_partial_pane(self):
+        # A trailing partial pane never reached the aggregated views; reset
+        # must say so instead of silently discarding its points/timestamps.
+        buffer = PaneBuffer(pane_size=4, capacity=10)
+        buffer.extend(np.arange(6.0) + 100.0, np.ones(6))
+        discarded = buffer.reset()
+        assert discarded.dropped_partial_pane
+        assert discarded.open_pane_points == 2
+        assert discarded.open_pane_start == 104.0
+        assert discarded.completed_panes == 1
+        assert discarded.total_points == 6
+        assert len(buffer) == 0
+        assert buffer.total_points == 0
+        assert buffer.open_pane_points == 0
+
+    def test_reset_on_boundary_reports_no_partial(self):
+        buffer = PaneBuffer(pane_size=3, capacity=10)
+        buffer.extend(range(6), np.ones(6))
+        discarded = buffer.reset()
+        assert not discarded.dropped_partial_pane
+        assert discarded.open_pane_start is None
+        assert discarded.completed_panes == 2
+
+    def test_reuse_after_reset_is_clean(self):
+        buffer = PaneBuffer(pane_size=2, capacity=3)
+        buffer.extend(range(7), np.arange(7.0))
+        buffer.reset()
+        buffer.extend(range(4), [10.0, 20.0, 30.0, 40.0])
+        assert np.array_equal(buffer.aggregated_values(), [15.0, 35.0])
+        assert buffer.evicted_panes == 0
+
+    def test_open_pane_properties(self):
+        buffer = PaneBuffer(pane_size=3, capacity=5)
+        assert buffer.open_pane_points == 0
+        assert buffer.open_pane_start is None
+        buffer.push(7.5, 1.0)
+        assert buffer.open_pane_points == 1
+        assert buffer.open_pane_start == 7.5
+
+
+class TestJournal:
+    def test_journal_drains_completed_means(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10, journal=True)
+        buffer.extend(range(6), [1.0, 3.0, 5.0, 7.0, 9.0, 11.0])
+        assert np.array_equal(buffer.drain_completed_means(), [2.0, 6.0, 10.0])
+        assert buffer.drain_completed_means().size == 0
+        buffer.push(6.0, 2.0)
+        buffer.push(7.0, 4.0)
+        assert np.array_equal(buffer.drain_completed_means(), [3.0])
+
+    def test_journal_includes_evicted_appends(self):
+        # Consumers replay appends against the same capacity, so the journal
+        # must record every completion — even panes evicted immediately.
+        buffer = PaneBuffer(pane_size=1, capacity=2, journal=True)
+        buffer.extend(range(4), [1.0, 2.0, 3.0, 4.0])
+        assert np.array_equal(buffer.drain_completed_means(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_drain_requires_journal(self):
+        buffer = PaneBuffer(pane_size=1, capacity=2)
+        with pytest.raises(ValueError, match="journal"):
+            buffer.drain_completed_means()
+
+    def test_reset_clears_journal(self):
+        buffer = PaneBuffer(pane_size=1, capacity=4, journal=True)
+        buffer.extend(range(3), np.ones(3))
+        buffer.reset()
+        assert buffer.drain_completed_means().size == 0
+
+
 class TestValidation:
     def test_rejects_bad_pane_size(self):
         with pytest.raises(ValueError):
