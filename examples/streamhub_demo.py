@@ -2,8 +2,10 @@
 
 Simulates a small fleet of metric streams — CPU, latency, queue depth — each
 delivering one scrape interval of points per round.  A single StreamHub hosts
-every stream: batch ingestion, refreshes coalesced on the shared tick, and
-incremental per-refresh statistics (O(new panes), not O(window)).
+every stream: batch ingestion, refreshes coalesced on the shared tick,
+incremental per-refresh statistics (O(new panes), not O(window)), and — via
+each session's rollup pyramid — the same stream served at several pixel
+widths from one session (``snapshot(stream_id, resolution=...)``).
 
 Run::
 
@@ -15,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.service import StreamConfig, StreamHub
+from repro.vis.ascii_plot import sparkline
 
 SCRAPE_INTERVAL = 60  # points delivered per stream per round
 ROUNDS = 40
@@ -73,10 +76,25 @@ def main() -> None:
             f"frames={snapshot.frames_emitted:3d}  points={snapshot.points_ingested}"
         )
 
+    # Multi-resolution serving: the same stream rendered at three widths from
+    # one session — each snapshot comes from the session's shared rollup
+    # pyramid (nearest coarser level + residual re-bucket), no duplicate
+    # sessions, no re-ingestion.
+    print("\napi.latency_ms served at three pixel widths from one session:")
+    for width in (25, 50, 100):
+        view = hub.snapshot("api.latency_ms", resolution=width)
+        print(
+            f"  {width:4d}px ratio={view.ratio:2d} (level {view.level_ratio} x "
+            f"residual {view.residual}) window={view.window_original_units} raw pts"
+        )
+        print(f"    {sparkline(view.series.values, width=min(width, 72))}")
+
     stats = hub.stats
     print(
         f"\nhub: {stats.points_ingested} points -> {stats.frames_emitted} frames "
-        f"over {stats.ticks} ticks ({stats.sessions_evicted} idle evictions)"
+        f"over {stats.ticks} ticks ({stats.sessions_evicted} idle evictions); "
+        f"{stats.views_served} resolution views served "
+        f"({stats.view_cache_hits} from cache)"
     )
 
     # Session lifecycle: close one stream and let another idle out.

@@ -20,6 +20,7 @@ Packages:
 
 * :mod:`repro.core` — the ASAP operator (metrics, search, streaming);
 * :mod:`repro.engine` — the multi-series batch engine (``smooth_many``);
+* :mod:`repro.pyramid` — the multi-resolution rollup tier (``Pyramid``);
 * :mod:`repro.service` — the multi-tenant streaming service (``StreamHub``);
 * :mod:`repro.timeseries` — series container, statistics, dataset
   reconstructions;
@@ -41,10 +42,11 @@ from .core import (
     smooth,
 )
 from .engine import BatchEngine, BatchResult, smooth_many
+from .pyramid import Pyramid, PyramidView, ViewSpec
 from .service import StreamConfig, StreamHub
 from .timeseries import TimeSeries
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ASAP",
@@ -52,12 +54,15 @@ __all__ = [
     "BatchResult",
     "DEFAULT_RESOLUTION",
     "Frame",
+    "Pyramid",
+    "PyramidView",
     "SearchResult",
     "SmoothingResult",
     "StreamConfig",
     "StreamHub",
     "StreamingASAP",
     "TimeSeries",
+    "ViewSpec",
     "find_window",
     "smooth",
     "smooth_many",

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..timeseries.series import TimeSeries
 from .acf import ACFAnalysis
-from .preaggregation import preaggregate
+from .preaggregation import expected_ratio, prepare_search_input
 from .result import SmoothingResult
 from .search import SearchResult, run_strategy
 from .smoothing import EvaluationCache, sma
@@ -38,16 +38,6 @@ def _coerce_series(data) -> TimeSeries:
     return TimeSeries(np.asarray(data, dtype=np.float64))
 
 
-def _expected_ratio(n: int, resolution: int, use_preaggregation: bool) -> int:
-    """The ratio :func:`preaggregate` would apply, without doing the work."""
-    from .preaggregation import MIN_OVERSAMPLING, point_to_pixel_ratio
-
-    ratio = point_to_pixel_ratio(n, resolution)  # also validates resolution
-    if not use_preaggregation or n < MIN_OVERSAMPLING * resolution:
-        return 1
-    return ratio
-
-
 def _prepare(
     series: TimeSeries,
     resolution: int,
@@ -57,15 +47,17 @@ def _prepare(
 ) -> tuple[np.ndarray, int, EvaluationCache]:
     """The search input: (aggregated values, point-to-pixel ratio, cache).
 
-    With a caller-supplied cache (the batch engine pre-fills one per series
-    from batched kernel calls), the cache's values *are* the search input —
-    the engine computed them with the row-identical batched aggregation — so
-    the scalar preaggregation pass is skipped; the expected output shape is
-    still verified, and the engine's equivalence tests pin the values
-    themselves.
+    The aggregation itself is the shared pipeline stage
+    (:func:`repro.core.preaggregation.prepare_search_input`) — the one
+    definition every consumer of "the searched series" goes through.  With a
+    caller-supplied cache (the batch engine pre-fills one per series from
+    batched kernel calls), the cache's values *are* the search input — the
+    engine computed them with the same stage — so the pass is skipped; the
+    expected output shape is still verified, and the engine's equivalence
+    tests pin the values themselves.
     """
     if cache is not None:
-        ratio = _expected_ratio(len(series), resolution, use_preaggregation)
+        ratio = expected_ratio(len(series), resolution, use_preaggregation)
         expected_size = len(series) // ratio if ratio > 1 else len(series)
         if cache.values.size != expected_size:
             raise ValueError(
@@ -74,12 +66,8 @@ def _prepare(
                 "values the pipeline produces"
             )
         return cache.values, ratio, cache
-    if use_preaggregation:
-        agg = preaggregate(series.values, resolution)
-        values, ratio = agg.values, agg.ratio
-    else:
-        values, ratio = np.asarray(series.values, dtype=np.float64), 1
-    return values, ratio, EvaluationCache(values, kernel=kernel)
+    staged = prepare_search_input(series.values, resolution, use_preaggregation)
+    return staged.values, staged.ratio, EvaluationCache(staged.values, kernel=kernel)
 
 
 def find_window(

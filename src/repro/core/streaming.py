@@ -43,6 +43,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..pyramid.rollup import Pyramid
+from ..pyramid.view import PyramidView, ViewSpec
 from ..spectral.convolution import cross_product_sums
 from ..stream.operators import StreamOperator
 from ..stream.panes import PaneBuffer, RollingArray
@@ -526,6 +528,15 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         operator itself never needs them; serving layers turn this off to
         halve batch-ingest cost.  Pane means — and therefore every frame —
         are bit-identical either way.
+    pyramid:
+        Attach a multi-resolution rollup pyramid
+        (:class:`~repro.pyramid.Pyramid`) fed every completed pane, so the
+        same window can be served at many pixel widths via
+        :meth:`pyramid_view` without duplicating sessions.  Pass ``True`` to
+        build one sized to this operator's window (capacity ``resolution``,
+        default level ratios), or a pre-built pyramid of matching capacity.
+        The pyramid observes completions only — frames are bit-identical with
+        or without it.
     """
 
     def __init__(
@@ -540,6 +551,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         recompute_every: int = 64,
         verify_incremental: bool = False,
         keep_pane_sketches: bool = True,
+        pyramid: Pyramid | bool | None = None,
     ) -> None:
         if refresh_interval < 1:
             raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
@@ -548,10 +560,20 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self.incremental = bool(incremental or verify_incremental)
         self.recompute_every = recompute_every
         self.verify_incremental = verify_incremental
+        if pyramid is True:
+            pyramid = Pyramid(capacity=resolution)
+        elif pyramid is False:
+            pyramid = None
+        if pyramid is not None and pyramid.capacity != resolution:
+            raise ValueError(
+                f"attached pyramid capacity {pyramid.capacity} must equal the "
+                f"operator resolution {resolution} (the pyramid mirrors the window)"
+            )
+        self.pyramid = pyramid
         self._buffer = PaneBuffer(
             pane_size=pane_size,
             capacity=resolution,
-            journal=self.incremental,
+            journal=self.incremental or pyramid is not None,
             keep_sketches=keep_pane_sketches,
         )
         self.refresh_interval = refresh_interval
@@ -640,9 +662,33 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         """True when a deferred refresh boundary is pending (see push_many)."""
         return self._refresh_due
 
+    @property
+    def panes_completed(self) -> int:
+        """Panes ever completed — monotone version counter for view caches."""
+        return self._buffer.panes_completed
+
     def aggregated_values(self) -> np.ndarray:
         """The aggregated window the next search would run over (a copy)."""
         return self._buffer.aggregated_values()
+
+    def pyramid_view(
+        self, spec: ViewSpec | int, sync: bool = True
+    ) -> PyramidView:
+        """Resolve a multi-resolution view of the current window.
+
+        Requires a pyramid attached at construction.  With *sync* (the
+        default) any panes completed since the last refresh are folded into
+        the pyramid first, so the view always reflects every completed pane —
+        exactly the window :meth:`aggregated_values` exposes.
+        """
+        if self.pyramid is None:
+            raise ValueError(
+                "no pyramid attached; construct StreamingASAP(..., pyramid=True) "
+                "to serve multi-resolution views"
+            )
+        if sync:
+            self._sync_pane_state()
+        return self.pyramid.view(spec)
 
     # -- operator contract ----------------------------------------------------
 
@@ -725,6 +771,8 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._buffer.clear()
         if self._rolling is not None:
             self._rolling.clear()
+        if self.pyramid is not None:
+            self.pyramid.clear()
         self._panes_since_refresh = 0
         self._previous_window = None
         self._refresh_due = False
@@ -765,12 +813,21 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         lag = default_max_lag(n) if self.max_window is None else min(self.max_window, n - 1)
         return min(lag, n - 1)
 
-    def _sync_rolling(self) -> None:
-        """Drain journaled pane completions into the rolling state."""
-        assert self._rolling is not None
-        appended = self._buffer.drain_completed_means()
-        if appended.size:
-            self._rolling.extend(appended)
+    def _sync_pane_state(self) -> None:
+        """Fan journaled pane completions out to every derived-state consumer.
+
+        One journal drain feeds both the rolling statistics (incremental
+        refresh) and the attached pyramid (multi-resolution views), so the
+        two can never observe different completion histories.
+        """
+        if self._rolling is None and self.pyramid is None:
+            return
+        means, times = self._buffer.drain_completed()
+        if means.size:
+            if self._rolling is not None:
+                self._rolling.extend(means)
+            if self.pyramid is not None:
+                self.pyramid.extend(means, times)
 
     def _incremental_acf(self, values: np.ndarray) -> ACFAnalysis:
         assert self._rolling is not None
@@ -785,8 +842,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         return analysis_from_correlations(correlations)
 
     def _refresh(self, cache: EvaluationCache | None = None) -> Frame | None:
-        if self._rolling is not None:
-            self._sync_rolling()
+        self._sync_pane_state()
         values = self._buffer.aggregated_values()
         if values.size < MIN_PANES_FOR_SEARCH:
             return None

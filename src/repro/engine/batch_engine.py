@@ -6,12 +6,19 @@ refresh.  :class:`BatchEngine` executes that workload through the exact
 single-series pipeline (:func:`repro.core.batch.smooth`), organized so the
 batch pays for its shared work once:
 
-* **Batched kernels** — for the grid-shaped strategies (exhaustive, grid2,
-  grid10) on equal-length batches, preaggregation, the original-series
-  moments, and the *entire candidate grid of every series* are computed by
+* **Batched kernels over ratio cohorts** — for the grid-shaped strategies
+  (exhaustive, grid2, grid10), every series is first run through the shared
+  pre-aggregation stage
+  (:func:`repro.core.preaggregation.prepare_search_input`) and the batch is
+  grouped into *ratio cohorts*: series whose searched representations have
+  the same length share one candidate grid, so the original-series moments
+  and the *entire candidate grid of every cohort member* are computed by
   2-D/3-D array kernels (:func:`repro.spectral.convolution.sma_grid_moments`)
   and handed to each series' search as a pre-filled
-  :class:`~repro.core.smoothing.EvaluationCache`.
+  :class:`~repro.core.smoothing.EvaluationCache`.  Ragged batches whose
+  members land on the same point-to-pixel ratio — the common dashboard case
+  of many same-resolution charts over different history lengths — batch just
+  as well as rectangular ones.
 * **Shared ACF analyses** — the ASAP strategy's FFT-based autocorrelation
   analyses are memoized in an :class:`~repro.engine.cache.ACFCache` keyed by
   series content, so refreshes that resubmit unchanged series skip the
@@ -37,7 +44,7 @@ import numpy as np
 
 from ..core.acf import ACFAnalysis
 from ..core.batch import DEFAULT_RESOLUTION, smooth
-from ..core.preaggregation import preaggregate
+from ..core.preaggregation import expected_ratio, prepare_search_input
 from ..core.result import SmoothingResult
 from ..core.search import resolve_max_window
 from ..core.smoothing import EvaluationCache, WindowEvaluation
@@ -70,6 +77,10 @@ class BatchStats:
     used_fast_path: bool
     acf_cache_hits: int
     acf_cache_misses: int
+    #: Ratio cohorts (groups of series sharing one searched length, and
+    #: therefore one batched candidate-grid kernel call) in this batch; 0
+    #: when the fast path did not run or nothing could be grouped.
+    ratio_cohorts: int = 0
 
     @property
     def series_per_second(self) -> float:
@@ -291,9 +302,10 @@ class BatchEngine:
 
         fast = self._try_fast_path(labels, items)
         if fast is not None:
-            results, used_fast_path = fast, True
+            (results, cohorts), used_fast_path = fast, True
         else:
-            results, used_fast_path = self._fallback_path(labels, items), False
+            results, cohorts = self._fallback_path(labels, items), 0
+            used_fast_path = False
 
         stats = BatchStats(
             n_series=len(items),
@@ -304,6 +316,7 @@ class BatchEngine:
             used_fast_path=used_fast_path,
             acf_cache_hits=self.acf_cache.hits - acf_hits_before,
             acf_cache_misses=self.acf_cache.misses - acf_misses_before,
+            ratio_cohorts=cohorts,
         )
         return BatchResult(labels=tuple(labels), results=tuple(results), stats=stats)
 
@@ -328,14 +341,19 @@ class BatchEngine:
             "kernel": self.kernel,
         }
 
-    def _try_fast_path(self, labels, items) -> list[SmoothingResult] | None:
-        """Batched-kernel execution, when the whole batch shares one grid.
+    def _try_fast_path(self, labels, items) -> tuple[list[SmoothingResult], int] | None:
+        """Batched-kernel execution over ratio cohorts.
 
-        Eligible when the strategy's candidates form a fixed grid, the batch
-        is rectangular, and execution is serial.  Pre-computes preaggregation,
-        original moments, and every candidate evaluation for all series with
-        three batched kernels, then drives the ordinary per-series pipeline
-        on pre-filled caches.
+        Eligible when the strategy's candidates form a fixed grid and
+        execution is serial.  Every series is run through the shared
+        pre-aggregation stage, then grouped by *searched length* (its ratio
+        cohort): all members of a cohort share one candidate grid, so their
+        original moments and entire candidate evaluations are computed by
+        three batched kernels per cohort and installed into pre-filled
+        caches.  Cohorts of one get a plain cache (their search evaluates
+        through the ordinary kernel — identical values either way); if no
+        cohort has at least two members there is nothing to batch and the
+        fallback path runs instead.  Returns ``(results, shared_cohorts)``.
         """
         if (
             self.strategy not in GRID_STRATEGY_STEPS
@@ -344,30 +362,49 @@ class BatchEngine:
             or not items
         ):
             return None
-        value_rows = []
+        # Cohort shapes are a pure function of each series' length, so the
+        # grouping decision costs no data pass: when nothing would batch, the
+        # fallback path runs without having aggregated anything here.
+        value_rows: list[np.ndarray] = []
+        sizes: list[int] = []
         for item in items:
             values = _item_values(item)
-            if values.ndim != 1:
+            if values.ndim != 1 or values.size < 4:
+                return None
+            ratio = expected_ratio(values.size, self.resolution, self.use_preaggregation)
+            searched_size = values.size // ratio if ratio > 1 else values.size
+            if searched_size < 4:
                 return None
             value_rows.append(values)
-        length = value_rows[0].size
-        if length < 4 or any(row.size != length for row in value_rows):
+            sizes.append(searched_size)
+
+        cohorts: dict[int, list[int]] = {}
+        for index, size in enumerate(sizes):
+            cohorts.setdefault(size, []).append(index)
+        if max(len(indices) for indices in cohorts.values()) < 2:
             return None
 
-        # Equal-length rows share one ratio, so the scalar preaggregation is
-        # applied per row (bit-identical to the in-pipeline pass by
-        # construction) and only the small aggregated rows are stacked.
-        if self.use_preaggregation:
-            searched2d = np.vstack(
-                [preaggregate(row, self.resolution).values for row in value_rows]
+        # The shared pipeline stage — bit-identical to the pass smooth()
+        # itself would run, which is what lets the pre-filled caches be
+        # handed straight to the per-series pipeline.
+        searched_rows = [
+            prepare_search_input(values, self.resolution, self.use_preaggregation).values
+            for values in value_rows
+        ]
+        caches: dict[int, EvaluationCache] = {}
+        shared_cohorts = 0
+        for indices in cohorts.values():
+            if len(indices) < 2:
+                index = indices[0]
+                caches[index] = EvaluationCache(searched_rows[index], kernel=self.kernel)
+                continue
+            stacked = np.vstack([searched_rows[i] for i in indices])
+            cohort_caches = prefill_grid_caches(
+                stacked, self.strategy, max_window=self.max_window, kernel=self.kernel
             )
-        else:
-            searched2d = np.vstack(value_rows)
-        if searched2d.shape[1] < 4:
-            return None
-        caches = prefill_grid_caches(
-            searched2d, self.strategy, max_window=self.max_window, kernel=self.kernel
-        )
+            for index, cache in zip(indices, cohort_caches):
+                caches[index] = cache
+            shared_cohorts += 1
 
         results: list[SmoothingResult] = []
         kwargs = self._smooth_kwargs()
@@ -376,7 +413,7 @@ class BatchEngine:
                 results.append(smooth(item, cache=caches[index], **kwargs))
             except ValueError as exc:
                 raise _labeled(label, index, exc) from exc
-        return results
+        return results, shared_cohorts
 
     def _fallback_path(self, labels, items) -> list[SmoothingResult]:
         """Per-series execution: serial, thread pool, or process pool."""
@@ -432,10 +469,9 @@ class BatchEngine:
         values = _item_values(item)
         if values.ndim != 1 or values.size < 4:
             return None, None
-        if self.use_preaggregation:
-            searched = preaggregate(values, self.resolution).values
-        else:
-            searched = values
+        searched = prepare_search_input(
+            values, self.resolution, self.use_preaggregation
+        ).values
         cache = EvaluationCache(searched, kernel=self.kernel)
         if self.strategy != "asap" or searched.size < 4:
             return cache, None

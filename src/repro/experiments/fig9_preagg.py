@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.preaggregation import preaggregate
+from ..core.preaggregation import prepare_search_input
 from ..core.search import run_strategy
 from ..timeseries.datasets import load
 from .common import format_ratio, format_table, time_call
@@ -55,10 +55,7 @@ class Cell:
 
 def _run_configuration(values: np.ndarray, configuration: str, resolution: int, repeats: int):
     strategy, preagg = CONFIGURATIONS[configuration]
-    if preagg:
-        searched = preaggregate(values, resolution).values
-    else:
-        searched = values
+    searched = prepare_search_input(values, resolution, use_preaggregation=preagg).values
     return time_call(lambda: run_strategy(strategy, searched), repeats=repeats)
 
 

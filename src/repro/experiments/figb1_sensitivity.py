@@ -20,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.preaggregation import preaggregate
+from ..core.preaggregation import prepare_search_input
 from ..core.search import asap_search
 from ..perception.observer import Observer
 from ..perception.study import USER_STUDY_DATASETS, StudyConfig
@@ -99,7 +99,7 @@ def run(
         dataset = load(name, scale=dataset_scale)
         raw = dataset.series.values
         n_raw = raw.size
-        agg = preaggregate(raw, _RESOLUTION)
+        agg = prepare_search_input(raw, _RESOLUTION)
         values, ratio = agg.values, agg.ratio
         max_window = max(values.size // 10, 2)
         asap_window = asap_search(values).window

@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.preaggregation import preaggregate
+from ..core.preaggregation import prepare_search_input
 from ..core.search import asap_search
 from ..spectral.convolution import sma
 from ..spectral.filters import ParameterizedFilter, filter_registry
@@ -88,7 +88,7 @@ def run(dataset_names: Sequence[str] = _USER_STUDY, scale: float = 1.0) -> list[
     registry = filter_registry()
     cells: list[Cell] = []
     for name in dataset_names:
-        values = preaggregate(load(name, scale=scale).series.values, _RESOLUTION).values
+        values = prepare_search_input(load(name, scale=scale).series.values, _RESOLUTION).values
         sma_window = asap_search(values).window
         sma_roughness = max(roughness(sma(values, sma_window)), 1e-12)
         for filter_name, smoother in registry.items():

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.preaggregation import preaggregate
-from ..core.search import asap_search, exhaustive_search
+from ..core.batch import find_window
 from ..timeseries.datasets import DatasetInfo, available, load
 from .common import format_table
 
@@ -53,9 +52,12 @@ def run(
     rows: list[Row] = []
     for name in names:
         dataset = load(name, scale=scale)
-        aggregated = preaggregate(dataset.series.values, resolution).values
-        exhaustive = exhaustive_search(aggregated)
-        asap = asap_search(aggregated)
+        # The public pipeline path: preaggregate + search in one call, so the
+        # exhibit exercises exactly what smooth() runs.
+        exhaustive, _ = find_window(
+            dataset.series.values, resolution=resolution, strategy="exhaustive"
+        )
+        asap, _ = find_window(dataset.series.values, resolution=resolution, strategy="asap")
         rows.append(
             Row(
                 info=dataset.info,

@@ -1,0 +1,509 @@
+"""The multi-resolution rollup store: geometric pre-aggregation levels.
+
+One :class:`Pyramid` mirrors a sliding window of base values (for the
+streaming operator, completed pane means) and maintains, incrementally, a
+small set of coarser rollup levels at geometric bucket ratios (1/4/16/64 by
+default).  Each level holds the means of consecutive non-overlapping
+``ratio``-point buckets of the base stream, aligned to *global* base indices
+(bucket ``b`` always covers base values ``[b*ratio, (b+1)*ratio)`` no matter
+when it was computed), so any two clients asking for the same span get the
+same buckets.
+
+**Incrementality.**  ``extend`` costs O(new values x levels): each level
+carries over the raw tail of its currently-open bucket (fewer than ``ratio``
+values) and completes buckets with the same row-wise reshape/mean reduction
+:func:`repro.core.preaggregation.bucket_means` uses, so level contents are
+*bit-identical* to bucketing the concatenated stream from scratch — there is
+no incremental-summation drift to bound in the first place.  The exact-
+rebuild guard mirrors :class:`repro.core.streaming.RollingWindowState` all
+the same: :meth:`verify_levels` recomputes every coverable bucket from the
+retained base window and raises :class:`PyramidDriftError` on any
+disagreement, and :meth:`rebuild` forces the recomputation, exactly as the
+rolling state's ``verify_incremental`` / ``rebuild`` pair does for its sums.
+
+**Bounded memory.**  The base level retains ``capacity`` values (the mirror
+of the streaming window); each rollup level retains just enough buckets to
+cover that window (``ceil(capacity/ratio) + 1`` for alignment slack), so the
+whole pyramid costs ~``capacity * sum(1/ratio)`` extra floats — about 1.33x
+the window for the default ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.preaggregation import bucket_means, expected_ratio
+from ..stream.panes import RollingArray
+from .view import PyramidView, ViewSpec
+
+__all__ = [
+    "Pyramid",
+    "PyramidLevel",
+    "PyramidStats",
+    "LevelStats",
+    "PyramidError",
+    "PyramidDriftError",
+    "DEFAULT_LEVEL_RATIOS",
+]
+
+#: Geometric rollup ratios: each level buckets 4x coarser than the previous.
+DEFAULT_LEVEL_RATIOS = (1, 4, 16, 64)
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+class PyramidError(RuntimeError):
+    """Base class for pyramid failures."""
+
+
+class PyramidDriftError(PyramidError):
+    """A rollup level disagrees with a from-scratch re-bucket of the base."""
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Accounting for one rollup level."""
+
+    ratio: int
+    retained: int
+    completed: int
+    evicted: int
+    partial_values: int
+
+
+@dataclass(frozen=True)
+class PyramidStats:
+    """Accounting across all levels of one pyramid."""
+
+    total_appended: int
+    levels: tuple[LevelStats, ...]
+
+    @property
+    def retained_values(self) -> int:
+        """Total floats retained across every level (memory proxy)."""
+        return sum(level.retained + level.partial_values for level in self.levels)
+
+
+class PyramidLevel:
+    """One rollup level: bucket means at a fixed ratio, maintained incrementally.
+
+    ``completed`` counts every bucket ever finished (global bucket indices);
+    the retained window is the most recent ``capacity`` of them.  The open
+    bucket's raw values are carried over between ``extend`` calls so a bucket
+    straddling two calls is reduced exactly as if its values had arrived
+    together.
+    """
+
+    __slots__ = (
+        "ratio",
+        "capacity",
+        "_means",
+        "_times",
+        "_tail_values",
+        "_tail_times",
+        "completed",
+        "evicted",
+    )
+
+    def __init__(self, ratio: int, capacity: int) -> None:
+        if ratio < 1:
+            raise ValueError(f"ratio must be >= 1, got {ratio}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.ratio = ratio
+        self.capacity = capacity
+        self._means = RollingArray(capacity)
+        self._times = RollingArray(capacity)
+        self._tail_values = _EMPTY
+        self._tail_times = _EMPTY
+        self.completed = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._means)
+
+    @property
+    def first_retained(self) -> int:
+        """Global index of the oldest retained bucket."""
+        return self.completed - len(self._means)
+
+    @property
+    def partial_values(self) -> int:
+        """Base values carried in the open (incomplete) bucket."""
+        return self._tail_values.size
+
+    def values(self) -> np.ndarray:
+        """Means of the retained buckets, oldest first (a copy)."""
+        return self._means.view().copy()
+
+    def timestamps(self) -> np.ndarray:
+        """First base timestamp of each retained bucket (a copy)."""
+        return self._times.view().copy()
+
+    def values_view(self) -> np.ndarray:
+        """The retained means without a copy; valid until the next extend."""
+        return self._means.view()
+
+    def timestamps_view(self) -> np.ndarray:
+        return self._times.view()
+
+    def extend(self, values: np.ndarray, timestamps: np.ndarray) -> None:
+        """Fold a batch of base values in, completing any filled buckets."""
+        if values.size == 0:
+            return
+        if self.ratio == 1:
+            self._append_buckets(values, timestamps)
+            return
+        ratio = self.ratio
+        combined = np.concatenate([self._tail_values, values])
+        combined_times = np.concatenate([self._tail_times, timestamps])
+        full = combined.size // ratio
+        if full:
+            span = full * ratio
+            # The canonical reduction — bucket values have exactly one
+            # definition, shared with the direct pre-aggregation path.
+            means = bucket_means(combined[:span], ratio)
+            self._append_buckets(means, combined_times[:span:ratio])
+            self._tail_values = combined[span:].copy()
+            self._tail_times = combined_times[span:].copy()
+        else:
+            self._tail_values = combined
+            self._tail_times = combined_times
+
+    def _append_buckets(self, means: np.ndarray, starts: np.ndarray) -> None:
+        self._means.append_many(np.ascontiguousarray(means))
+        self._times.append_many(np.ascontiguousarray(starts))
+        self.completed += means.size
+        overflow = len(self._means) - self.capacity
+        if overflow > 0:
+            self._means.popleft(overflow)
+            self._times.popleft(overflow)
+            self.evicted += overflow
+
+    def replace_retained(self, means: np.ndarray, starts: np.ndarray) -> None:
+        """Install *means* as the retained bucket suffix ending at ``completed``.
+
+        Used by :meth:`Pyramid.rebuild`; ``completed`` is preserved (the
+        buckets are the same buckets, recomputed), eviction accounting counts
+        any no-longer-covered leading buckets as evicted.
+        """
+        previously_retained = len(self._means)
+        self._means.clear()
+        self._times.clear()
+        self._means.append_many(np.ascontiguousarray(means))
+        self._times.append_many(np.ascontiguousarray(starts))
+        if means.size < previously_retained:
+            self.evicted += previously_retained - means.size
+
+    def clear(self) -> None:
+        self._means.clear()
+        self._times.clear()
+        self._tail_values = _EMPTY
+        self._tail_times = _EMPTY
+        self.completed = 0
+        self.evicted = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PyramidLevel(ratio={self.ratio}, retained={len(self)}/{self.capacity}, "
+            f"completed={self.completed}, partial={self.partial_values})"
+        )
+
+
+class Pyramid:
+    """A multi-resolution rollup store over a sliding window of base values.
+
+    Parameters
+    ----------
+    capacity:
+        Base values retained (the mirror of the consumer's window, e.g. the
+        streaming operator's ``resolution`` in panes).
+    level_ratios:
+        Rollup bucket sizes.  Ratio 1 (the base mirror) is always present;
+        the remaining ratios should grow geometrically (the default
+        1/4/16/64 keeps every view's residual re-bucket small).
+    """
+
+    def __init__(self, capacity: int, level_ratios=DEFAULT_LEVEL_RATIOS) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        ratios = sorted({int(r) for r in level_ratios} | {1})
+        if ratios[0] < 1:
+            raise ValueError(f"level ratios must be >= 1, got {ratios[0]}")
+        self.capacity = capacity
+        self.level_ratios = tuple(ratios)
+        self._levels: dict[int, PyramidLevel] = {}
+        for ratio in self.level_ratios:
+            level_capacity = capacity if ratio == 1 else -(-capacity // ratio) + 1
+            self._levels[ratio] = PyramidLevel(ratio, level_capacity)
+        self._base = self._levels[1]
+
+    # -- ingest ----------------------------------------------------------------
+
+    @property
+    def total_appended(self) -> int:
+        """Base values ever ingested — the version counter for view caches."""
+        return self._base.completed
+
+    def append(self, value: float, timestamp: float | None = None) -> None:
+        """Fold one base value in (convenience wrapper over :meth:`extend`)."""
+        self.extend([value], None if timestamp is None else [timestamp])
+
+    def extend(self, values, timestamps=None) -> None:
+        """Fold a batch of base values into every level, O(len x levels).
+
+        *timestamps* defaults to the global base index (as float64), so a
+        pyramid fed values alone still has a consistent time axis.
+        """
+        vs = np.asarray(values, dtype=np.float64)
+        if vs.ndim != 1:
+            raise ValueError(f"expected a 1-D batch, got shape {vs.shape}")
+        if timestamps is None:
+            ts = np.arange(
+                self.total_appended,
+                self.total_appended + vs.size,
+                dtype=np.float64,
+            )
+        else:
+            ts = np.asarray(timestamps, dtype=np.float64)
+            if ts.shape != vs.shape:
+                raise ValueError(
+                    f"timestamps and values must have equal lengths, "
+                    f"got {ts.size} and {vs.size}"
+                )
+        for level in self._levels.values():
+            level.extend(vs, ts)
+
+    def clear(self) -> None:
+        """Drop all state (e.g. the consumer's window was reset)."""
+        for level in self._levels.values():
+            level.clear()
+
+    # -- introspection ---------------------------------------------------------
+
+    def level(self, ratio: int) -> PyramidLevel:
+        """The rollup level at *ratio* (KeyError when not configured)."""
+        return self._levels[ratio]
+
+    @property
+    def window_start(self) -> int:
+        """Global base index of the oldest retained base value."""
+        return self._base.first_retained
+
+    @property
+    def window_length(self) -> int:
+        """Base values currently retained (== the consumer's window length)."""
+        return len(self._base)
+
+    def base_values(self) -> np.ndarray:
+        """The retained base window, oldest first (a copy)."""
+        return self._base.values()
+
+    def base_timestamps(self) -> np.ndarray:
+        return self._base.timestamps()
+
+    @property
+    def stats(self) -> PyramidStats:
+        return PyramidStats(
+            total_appended=self.total_appended,
+            levels=tuple(
+                LevelStats(
+                    ratio=level.ratio,
+                    retained=len(level),
+                    completed=level.completed,
+                    evicted=level.evicted,
+                    partial_values=level.partial_values,
+                )
+                for level in self._levels.values()
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Pyramid(capacity={self.capacity}, ratios={self.level_ratios}, "
+            f"window={self.window_length}, appended={self.total_appended})"
+        )
+
+    # -- view resolution -------------------------------------------------------
+
+    def view_ratio(self, resolution: int) -> int:
+        """The point-to-pixel ratio a view at *resolution* uses right now.
+
+        Delegates to the direct pipeline's one rule
+        (:func:`repro.core.preaggregation.expected_ratio`): 1 below the
+        oversampling threshold, ``floor(window / resolution)`` above it.
+        """
+        return expected_ratio(self.window_length, resolution)
+
+    def resolve_level(self, ratio: int) -> tuple[int, int]:
+        """``(level_ratio, residual)`` a view at effective *ratio* serves from.
+
+        The nearest coarser level whose ratio divides the requested one and
+        whose retained, window-aligned buckets can fill at least one view
+        bucket right now; ratio 1 always qualifies, so resolution never
+        fails — it only degrades to a direct re-bucket of the base mirror.
+        This is exactly the selection :meth:`view` makes (one shared
+        implementation), so predicting a view's serving level is reliable.
+        """
+        plan = self._serving_plan(ratio)
+        return plan[0].ratio, plan[1]
+
+    def _serving_plan(self, ratio: int) -> tuple[PyramidLevel, int, int, int]:
+        """``(level, residual, first_bucket, view_buckets)`` for *ratio*.
+
+        Prefers the coarsest dividing level, degrading to a finer one when
+        head alignment leaves it unable to fill even one view bucket (tiny
+        windows); the base level always can (``window // ratio >= 1`` by
+        construction of the ratio).
+        """
+        if ratio < 1:
+            raise ValueError(f"ratio must be >= 1, got {ratio}")
+        window_start = self.window_start
+        divisors = [r for r in self.level_ratios if r <= ratio and ratio % r == 0]
+        for level_ratio in reversed(divisors):
+            residual = ratio // level_ratio
+            level = self._levels[level_ratio]
+            first_needed = -(-window_start // level_ratio)
+            first = max(first_needed, level.first_retained)
+            buckets = (level.completed - first) // residual
+            if buckets >= 1:
+                return level, residual, first, buckets
+        raise PyramidError(
+            f"window of {self.window_length} base values cannot fill one "
+            f"ratio-{ratio} bucket"
+        )
+
+    def view(self, spec: ViewSpec | int) -> PyramidView:
+        """Resolve one client view; see :class:`~repro.pyramid.view.ViewSpec`.
+
+        The returned values equal direct bucketing of the covered base span
+        (``bucket_means(base[start:end], ratio)``): bit-identical when a
+        level matches the ratio exactly (``residual == 1``, including the
+        always-available base level), within 1e-9 otherwise.  The covered
+        span is bucket-aligned: up to ``level_ratio - 1`` of the oldest
+        window values fall before the first whole retained bucket and are
+        not served (the window head is mid-eviction anyway).
+        """
+        if isinstance(spec, (int, np.integer)):
+            spec = ViewSpec(resolution=int(spec))
+        n = self.window_length
+        if n == 0:
+            raise PyramidError("cannot view an empty pyramid")
+        ratio = self.view_ratio(spec.resolution)
+        window_start = self.window_start
+        total = self._base.completed
+        if ratio == 1:
+            return PyramidView(
+                values=self._base.values(),
+                timestamps=self._base.timestamps(),
+                ratio=1,
+                level_ratio=1,
+                residual=1,
+                base_start=window_start,
+                base_end=total,
+                partial_points=0,
+            )
+        level, residual, first, buckets = self._serving_plan(ratio)
+        level_ratio = level.ratio
+        offset = first - level.first_retained
+        span = buckets * residual
+        # The residual re-bucket goes through the same canonical reduction
+        # (ratio 1 degenerates to a copy).
+        values = bucket_means(level.values_view()[offset : offset + span], residual)
+        timestamps = level.timestamps_view()[offset : offset + span : residual].copy()
+        base_start = first * level_ratio
+        base_end = base_start + buckets * ratio
+        partial_points = 0
+        if spec.include_partial:
+            remainder = total - base_end
+            if remainder > 0:
+                base_view = self._base.values_view()
+                tail = base_view[n - remainder :]
+                values = np.append(values, tail.mean())
+                timestamps = np.append(
+                    timestamps,
+                    self._base.timestamps_view()[n - remainder],
+                )
+                partial_points = remainder
+                base_end = total
+        return PyramidView(
+            values=values,
+            timestamps=timestamps,
+            ratio=ratio,
+            level_ratio=level_ratio,
+            residual=residual,
+            base_start=base_start,
+            base_end=base_end,
+            partial_points=partial_points,
+        )
+
+    # -- drift guard -----------------------------------------------------------
+
+    def _coverable(self, level: PyramidLevel) -> tuple[int, int, np.ndarray]:
+        """``(first_bucket, count, expected_means)`` recomputable from base."""
+        window_start = self.window_start
+        first = max(-(-window_start // level.ratio), level.first_retained)
+        count = level.completed - first
+        if count <= 0:
+            return first, 0, _EMPTY
+        base_view = self._base.values_view()
+        start = first * level.ratio - window_start
+        expected = bucket_means(base_view[start : start + count * level.ratio], level.ratio)
+        return first, count, expected
+
+    def verify_levels(self, tolerance: float = 0.0) -> int:
+        """Recompute every coverable bucket from the base mirror and compare.
+
+        The pyramid's maintenance is exact, so the default tolerance is 0.0
+        — any disagreement at all raises :class:`PyramidDriftError`.  Returns
+        the number of buckets checked.  This is the same escape hatch
+        ``verify_incremental`` provides for the rolling window sums.
+        """
+        checked = 0
+        for level in self._levels.values():
+            if level.ratio == 1:
+                continue
+            first, count, expected = self._coverable(level)
+            if count == 0:
+                continue
+            offset = first - level.first_retained
+            stored = level.values_view()[offset : offset + count]
+            diff = np.abs(stored - expected)
+            worst = float(diff.max()) if diff.size else 0.0
+            if worst > tolerance:
+                bucket = first + int(np.argmax(diff))
+                raise PyramidDriftError(
+                    f"level ratio {level.ratio} bucket {bucket} drifted by "
+                    f"{worst!r} (> {tolerance!r})"
+                )
+            checked += count
+        return checked
+
+    def rebuild(self) -> None:
+        """Recompute every level's retained buckets from the base mirror.
+
+        After a rebuild each rollup level holds exactly the from-scratch
+        bucketing of the retained base window (buckets older than the window
+        are dropped — they are no longer recomputable).  The incremental
+        path already produces these exact values, so this exists as the same
+        belt-and-braces recovery ``RollingWindowState.rebuild`` provides.
+        """
+        window_start = self.window_start
+        base_view = self._base.values_view()
+        base_times = self._base.timestamps_view()
+        for level in self._levels.values():
+            if level.ratio == 1:
+                continue
+            first, count, expected = self._coverable(level)
+            start = first * level.ratio - window_start
+            starts = base_times[start : start + count * level.ratio : level.ratio]
+            level.replace_retained(expected, np.asarray(starts))
+            # The open bucket's carry-over is recomputable only while its raw
+            # values are still inside the base mirror; otherwise the carried
+            # tail (exact by construction) is kept as-is.
+            tail_base = level.completed * level.ratio - window_start
+            if tail_base >= 0:
+                level._tail_values = base_view[tail_base:].copy()
+                level._tail_times = base_times[tail_base:].copy()

@@ -16,13 +16,19 @@ that workload on top of the single-stream operator of
   ``incremental=True`` path, so a refresh costs O(new panes) of statistics
   maintenance rather than O(window log window) recomputation, with the same
   1e-9 agreement discipline (and its ``verify_incremental`` escape hatch)
-  as the rest of the repo.
+  as the rest of the repo;
+* multi-resolution serving — each session carries one shared rollup pyramid
+  (:mod:`repro.pyramid`), so ``snapshot(stream_id, resolution=...)`` serves
+  any number of per-client pixel widths from one session instead of N
+  duplicate sessions, with results equivalent to the from-scratch pipeline
+  on the directly pre-aggregated window.
 """
 
 from .hub import (
     HubAtCapacityError,
     HubError,
     HubStats,
+    ResolutionSnapshot,
     SessionSnapshot,
     StreamConfig,
     StreamHub,
@@ -33,6 +39,7 @@ __all__ = [
     "HubAtCapacityError",
     "HubError",
     "HubStats",
+    "ResolutionSnapshot",
     "SessionSnapshot",
     "StreamConfig",
     "StreamHub",

@@ -38,14 +38,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.batch import smooth
+from ..core.search import SearchResult
 from ..core.streaming import MIN_PANES_FOR_SEARCH, Frame, StreamingASAP
 from ..engine.batch_engine import GRID_STRATEGY_STEPS, prefill_grid_caches
+from ..pyramid import ViewSpec
+from ..timeseries.series import TimeSeries
 
 __all__ = [
     "StreamConfig",
     "StreamHub",
     "HubStats",
     "SessionSnapshot",
+    "ResolutionSnapshot",
     "HubError",
     "HubAtCapacityError",
     "UnknownStreamError",
@@ -87,6 +92,10 @@ class StreamConfig:
     recompute_every: int = 64
     verify_incremental: bool = False
     keep_pane_sketches: bool = False
+    #: Attach a rollup pyramid so ``StreamHub.snapshot(sid, resolution=...)``
+    #: can serve the session's window at any pixel width from shared rollup
+    #: levels.  ~1.33x the window's memory; frames are unaffected.
+    pyramid: bool = True
 
     def build_operator(self) -> StreamingASAP:
         return StreamingASAP(
@@ -100,6 +109,7 @@ class StreamConfig:
             recompute_every=self.recompute_every,
             verify_incremental=self.verify_incremental,
             keep_pane_sketches=self.keep_pane_sketches,
+            pyramid=self.pyramid,
         )
 
 
@@ -120,6 +130,39 @@ class SessionSnapshot:
 
 
 @dataclass(frozen=True)
+class ResolutionSnapshot:
+    """One client's multi-resolution view of a session, freshly smoothed.
+
+    ``series`` is the smoothed view (timestamps are view-bucket starts);
+    ``window`` is the selected SMA window in view-bucket units, with the two
+    mapped translations the dashboards need: ``window_base_units`` (panes,
+    ``window * ratio``) and ``window_original_units`` (raw points,
+    ``window * ratio * pane_size``).  ``base_start``/``base_end`` are global
+    pane indices of the span the view covers; ``ratio``/``level_ratio``/
+    ``residual`` describe how the pyramid resolved the request.  The values
+    are equivalent to running the from-scratch pipeline on the directly
+    pre-aggregated span (windows equal, values within 1e-9).
+    """
+
+    stream_id: str
+    resolution: int
+    series: TimeSeries
+    window: int
+    window_base_units: int
+    window_original_units: int
+    ratio: int
+    level_ratio: int
+    residual: int
+    base_start: int
+    base_end: int
+    partial_points: int
+    view_length: int
+    #: None when the session's ``max_window`` (in pane units) was too small
+    #: to admit any candidate at this ratio and the view is served unsmoothed.
+    search: SearchResult | None
+
+
+@dataclass(frozen=True)
 class HubStats:
     """Aggregate accounting across the hub's lifetime."""
 
@@ -132,6 +175,8 @@ class HubStats:
     frames_emitted: int
     refreshes_coalesced: int
     grid_kernel_calls: int
+    views_served: int
+    view_cache_hits: int
 
 
 @dataclass
@@ -144,6 +189,11 @@ class _Session:
     frames_emitted: int = 0
     closed: bool = False  # set under `lock`; guards ingest/close races
     lock: threading.RLock = field(default_factory=threading.RLock)
+    # (resolution, include_partial) -> (panes_completed version, snapshot);
+    # repeated polls between refreshes are served without recomputation.
+    view_cache: dict[tuple[int, bool], tuple[int, "ResolutionSnapshot"]] = field(
+        default_factory=dict
+    )
 
 
 class StreamHub:
@@ -194,6 +244,12 @@ class StreamHub:
         self.max_sessions = max_sessions
         self.max_panes_per_session = max_panes_per_session
         self.default_config = default_config or StreamConfig()
+        if default_config is not None:
+            # An explicit default that no create_stream call could ever
+            # satisfy is a configuration bug worth failing at once; the
+            # built-in default is only checked per session, so a hub with a
+            # small pane budget and per-stream resolutions keeps working.
+            self._check_pane_budget(default_config)
         self.eviction_policy = eviction_policy
         self.idle_ticks_before_eviction = idle_ticks_before_eviction
         self._sessions: dict[str, _Session] = {}
@@ -207,6 +263,22 @@ class StreamHub:
         self._frames_emitted = 0
         self._refreshes_coalesced = 0
         self._grid_kernel_calls = 0
+        self._views_served = 0
+        self._view_cache_hits = 0
+
+    def _check_pane_budget(self, config: StreamConfig) -> None:
+        """Reject configurations whose window exceeds the per-session budget.
+
+        A session retains up to ``resolution`` completed panes, so the pane
+        budget is the hub's memory backstop; the error names both remedies.
+        """
+        if config.resolution > self.max_panes_per_session:
+            raise HubError(
+                f"stream resolution {config.resolution} exceeds the hub's "
+                f"max_panes_per_session budget of {self.max_panes_per_session}; "
+                f"raise the hub's max_panes_per_session or lower the stream's "
+                f"resolution to at most {self.max_panes_per_session}"
+            )
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -224,11 +296,7 @@ class StreamHub:
         cfg = config or self.default_config
         if overrides:
             cfg = dataclasses.replace(cfg, **overrides)
-        if cfg.resolution > self.max_panes_per_session:
-            raise HubError(
-                f"resolution {cfg.resolution} exceeds max_panes_per_session "
-                f"{self.max_panes_per_session}"
-            )
+        self._check_pane_budget(cfg)
         with self._lock:
             if stream_id is None:
                 stream_id = f"stream-{next(self._auto_ids)}"
@@ -414,9 +482,38 @@ class StreamHub:
         with self._lock:
             return list(self._sessions)
 
-    def snapshot(self, stream_id: str) -> SessionSnapshot:
-        """Point-in-time view of one session; never triggers a refresh."""
+    def snapshot(
+        self,
+        stream_id: str,
+        resolution: int | None = None,
+        include_partial: bool = False,
+    ) -> SessionSnapshot | ResolutionSnapshot:
+        """Point-in-time view of one session; never triggers a refresh.
+
+        Without *resolution*: the session's bookkeeping
+        (:class:`SessionSnapshot`), exactly as before.
+
+        With *resolution*: a **multi-resolution view** — the session's
+        current window re-served at that pixel width from the session's
+        shared rollup pyramid (:class:`ResolutionSnapshot`).  Any number of
+        clients can snapshot the same stream at different widths from the
+        one session; each view's search input comes from the pyramid level
+        nearest the width's point-to-pixel ratio (plus a residual
+        re-bucket), and the smoothed output is equivalent to running the
+        from-scratch pipeline on the directly pre-aggregated window (windows
+        equal, values within 1e-9).  Views are cached per (resolution,
+        include_partial) until the next pane completes, so repeated polls
+        between refreshes are free.  Requires
+        ``StreamConfig(pyramid=True)`` (the default).
+        """
         session = self._get(stream_id)
+        if resolution is not None:
+            return self._resolution_snapshot(session, resolution, include_partial)
+        if include_partial:
+            raise HubError(
+                "include_partial only applies to multi-resolution views; "
+                "pass resolution=... as well"
+            )
         with session.lock:
             if session.closed:
                 raise UnknownStreamError(stream_id)
@@ -434,6 +531,106 @@ class StreamHub:
                 config=session.config,
             )
 
+    def _resolution_snapshot(
+        self, session: _Session, resolution: int, include_partial: bool
+    ) -> ResolutionSnapshot:
+        """Serve one multi-resolution view from the session's pyramid."""
+        if resolution < 1:
+            raise HubError(f"resolution must be >= 1, got {resolution}")
+        with session.lock:
+            if session.closed:
+                raise UnknownStreamError(session.stream_id)
+            operator = session.operator
+            if operator.pyramid is None:
+                raise HubError(
+                    f"stream {session.stream_id!r} was created with "
+                    f"StreamConfig(pyramid=False); re-create it with "
+                    f"pyramid=True to serve multi-resolution snapshots"
+                )
+            key = (int(resolution), bool(include_partial))
+            version = operator.panes_completed
+            cached = session.view_cache.get(key)
+            cache_hit = cached is not None and cached[0] == version
+            if cache_hit:
+                snap = cached[1]
+            else:
+                view = operator.pyramid_view(
+                    ViewSpec(resolution=resolution, include_partial=include_partial)
+                )
+                if view.values.size < MIN_PANES_FOR_SEARCH:
+                    raise HubError(
+                        f"stream {session.stream_id!r} has only {view.values.size} "
+                        f"view buckets at resolution {resolution}; a search needs "
+                        f">= {MIN_PANES_FOR_SEARCH} — ingest more data or request "
+                        f"a wider (higher-resolution) view"
+                    )
+                name = f"{session.stream_id}@{resolution}px"
+                series = TimeSeries(view.values, view.timestamps, name=name)
+                # The session's max_window bounds the smoothing window in
+                # *pane* units; a view bucket spans `ratio` panes, so the
+                # bound translates by floor division.  A bound too small to
+                # admit any candidate serves the view unsmoothed (window 1).
+                max_window = session.config.max_window
+                view_bound = None if max_window is None else max_window // view.ratio
+                if view_bound is not None and view_bound < 2:
+                    result = None
+                    window = 1
+                else:
+                    result = smooth(
+                        series,
+                        strategy=session.config.strategy,
+                        max_window=view_bound,
+                        use_preaggregation=False,
+                    )
+                    window = result.window
+                snap = ResolutionSnapshot(
+                    stream_id=session.stream_id,
+                    resolution=resolution,
+                    series=series if result is None else result.series,
+                    window=window,
+                    window_base_units=view.window_in_original_units(window),
+                    window_original_units=(
+                        view.window_in_original_units(window)
+                        * session.config.pane_size
+                    ),
+                    ratio=view.ratio,
+                    level_ratio=view.level_ratio,
+                    residual=view.residual,
+                    base_start=view.base_start,
+                    base_end=view.base_end,
+                    partial_points=view.partial_points,
+                    view_length=view.values.size,
+                    search=None if result is None else result.search,
+                )
+                self._cache_view(session, key, version, snap)
+        # Stats are counted only after session.lock is released: taking the
+        # registry lock while holding a session lock would invert the
+        # hub-lock -> session-lock order used by create_stream's eviction and
+        # tick's idle reaper (an ABBA deadlock).
+        with self._lock:
+            self._views_served += 1
+            if cache_hit:
+                self._view_cache_hits += 1
+        return snap
+
+    #: Distinct (resolution, include_partial) views cached per session; the
+    #: cache is version-keyed, so this bounds only same-version variety (e.g.
+    #: clients sweeping arbitrary widths), not staleness — stale-version
+    #: entries are purged on every insert.
+    MAX_CACHED_VIEWS_PER_SESSION = 32
+
+    def _cache_view(
+        self, session: _Session, key, version: int, snap: ResolutionSnapshot
+    ) -> None:
+        """Insert under session.lock; drop stale versions, bound the size."""
+        cache = session.view_cache
+        stale = [k for k, (v, _snap) in cache.items() if v != version]
+        for k in stale:
+            del cache[k]
+        while len(cache) >= self.MAX_CACHED_VIEWS_PER_SESSION:
+            cache.pop(next(iter(cache)))
+        cache[key] = (version, snap)
+
     @property
     def stats(self) -> HubStats:
         """Aggregate hub accounting (sessions, points, frames, coalescing)."""
@@ -448,6 +645,8 @@ class StreamHub:
                 frames_emitted=self._frames_emitted,
                 refreshes_coalesced=self._refreshes_coalesced,
                 grid_kernel_calls=self._grid_kernel_calls,
+                views_served=self._views_served,
+                view_cache_hits=self._view_cache_hits,
             )
 
     def __repr__(self) -> str:

@@ -198,11 +198,12 @@ class PaneBuffer:
         Maximum number of *completed* panes retained (the visualized window,
         e.g. the target resolution in pixels).  Older panes are evicted.
     journal:
-        When True, the mean of every completed pane is additionally appended
-        to a journal drained by :meth:`drain_completed_means` — the feed for
-        incrementally maintained window statistics (evictions need no journal
-        entry: a consumer replaying appends against the same ``capacity``
-        reproduces the eviction order exactly).
+        When True, the mean and start timestamp of every completed pane are
+        additionally appended to a journal drained by
+        :meth:`drain_completed` — the feed for incrementally maintained
+        window statistics and for attached rollup pyramids (evictions need
+        no journal entry: a consumer replaying appends against the same
+        ``capacity`` reproduces the eviction order exactly).
     keep_sketches:
         When False, completed panes keep only their mean and start timestamp
         (no retained :class:`Pane`/:class:`MomentSketch` objects), which cuts
@@ -233,6 +234,7 @@ class PaneBuffer:
         self._total_points = 0
         self._evicted_panes = 0
         self._pending_means: list[float] = []
+        self._pending_times: list[float] = []
 
     # -- ingest --------------------------------------------------------------
 
@@ -243,6 +245,7 @@ class PaneBuffer:
         self._times.append(pane.start_time)
         if self.journal:
             self._pending_means.append(pane.mean)
+            self._pending_times.append(pane.start_time)
         if len(self._means) > self.capacity:
             if self._panes:
                 self._panes.popleft()
@@ -305,6 +308,9 @@ class PaneBuffer:
             if self.journal:
                 block = vs[i : i + skipped_span].reshape(skipped, self.pane_size)
                 self._pending_means.extend(_bulk_welford_means(block).tolist())
+                self._pending_times.extend(
+                    ts[i : i + skipped_span : self.pane_size].tolist()
+                )
             self._evicted_panes += skipped + len(self._means)
             self._panes.clear()
             self._means.clear()
@@ -339,6 +345,7 @@ class PaneBuffer:
             self._times.append_many(starts)
             if self.journal:
                 self._pending_means.extend(mean.tolist())
+                self._pending_times.extend(starts.tolist())
             overflow = len(self._means) - self.capacity
             if overflow > 0:
                 if overflow >= len(self._panes):
@@ -373,6 +380,12 @@ class PaneBuffer:
         return self._evicted_panes
 
     @property
+    def panes_completed(self) -> int:
+        """Panes ever completed (retained + evicted) — a monotone version
+        counter for consumers caching derived state (e.g. pyramid views)."""
+        return len(self._means) + self._evicted_panes
+
+    @property
     def open_pane_points(self) -> int:
         """Points in the trailing partial pane (not yet aggregated)."""
         return self._open.count if self._open is not None else 0
@@ -399,18 +412,28 @@ class PaneBuffer:
             merged.merge(pane.sketch)
         return merged
 
-    def drain_completed_means(self) -> np.ndarray:
-        """Journaled means of panes completed since the last drain.
+    def drain_completed(self) -> tuple[np.ndarray, np.ndarray]:
+        """Journaled ``(means, start timestamps)`` of panes completed since
+        the last drain.
 
         Requires ``journal=True``; consumers replaying these appends against a
         window of the same ``capacity`` observe the exact append/evict order
-        the buffer itself went through.
+        the buffer itself went through.  There is one journal: a drain hands
+        the pending completions to its caller, who is responsible for feeding
+        every downstream consumer (the streaming operator fans one drain out
+        to the rolling statistics and the attached pyramid).
         """
         if not self.journal:
             raise ValueError("PaneBuffer was constructed with journal=False")
-        drained = np.asarray(self._pending_means, dtype=np.float64)
+        means = np.asarray(self._pending_means, dtype=np.float64)
+        times = np.asarray(self._pending_times, dtype=np.float64)
         self._pending_means = []
-        return drained
+        self._pending_times = []
+        return means, times
+
+    def drain_completed_means(self) -> np.ndarray:
+        """Journaled means only; see :meth:`drain_completed` (same drain)."""
+        return self.drain_completed()[0]
 
     # -- reset ---------------------------------------------------------------
 
@@ -436,6 +459,7 @@ class PaneBuffer:
         self._total_points = 0
         self._evicted_panes = 0
         self._pending_means = []
+        self._pending_times = []
         return discarded
 
     def clear(self) -> None:

@@ -28,24 +28,42 @@ def m4_aggregate(values, width: int) -> tuple[np.ndarray, np.ndarray]:
     arr = np.asarray(values, dtype=np.float64)
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError("expected a non-empty 1-D series")
-    cols = pixel_columns(arr.size, width)
+    n = arr.size
+    cols = pixel_columns(n, width)
     # Column membership is a sorted partition, so each column is one slice —
-    # searchsorted gives the boundaries without scanning n points per column.
+    # searchsorted gives the boundaries without scanning n points per column,
+    # and the per-column argmin/argmax collapse to segmented reductions: a
+    # point is its segment's argmin iff it equals the segment minimum, and
+    # taking the smallest such index reproduces np.argmin's first-occurrence
+    # tie-breaking exactly.
     boundaries = np.searchsorted(cols, np.arange(width + 1))
-    keep_indices: list[int] = []
-    for col in range(width):
-        lo, hi = int(boundaries[col]), int(boundaries[col + 1])
-        if lo == hi:
-            continue
-        segment = arr[lo:hi]
-        chosen = {
-            lo,
-            lo + int(np.argmin(segment)),
-            lo + int(np.argmax(segment)),
-            hi - 1,
-        }
-        keep_indices.extend(sorted(chosen))
-    index_array = np.asarray(keep_indices, dtype=np.int64)
+    counts = np.diff(boundaries)
+    populated = counts > 0
+    lo = boundaries[:-1][populated]
+    hi = boundaries[1:][populated]
+    if lo.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    segment_of = np.repeat(np.arange(lo.size), counts[populated])
+    indices = np.arange(n, dtype=np.int64)
+    seg_min = np.minimum.reduceat(arr, lo)
+    seg_max = np.maximum.reduceat(arr, lo)
+    argmin = np.minimum.reduceat(np.where(arr == seg_min[segment_of], indices, n), lo)
+    argmax = np.minimum.reduceat(np.where(arr == seg_max[segment_of], indices, n), lo)
+    # np.argmin/argmax return the first NaN's index when a segment contains
+    # one; the equality matches above never fire against a NaN minimum, so
+    # restore that convention explicitly.
+    nan_mask = np.isnan(arr)
+    if nan_mask.any():
+        first_nan = np.minimum.reduceat(np.where(nan_mask, indices, n), lo)
+        poisoned = first_nan < n
+        argmin = np.where(poisoned, first_nan, argmin)
+        argmax = np.where(poisoned, first_nan, argmax)
+    # first / argmin / argmax / last per column, deduplicated in sorted order
+    # (adjacent-duplicate removal suffices once each row is sorted).
+    chosen = np.sort(np.stack([lo, argmin, argmax, hi - 1], axis=1), axis=1)
+    keep = np.ones(chosen.shape, dtype=bool)
+    keep[:, 1:] = chosen[:, 1:] != chosen[:, :-1]
+    index_array = chosen[keep].astype(np.int64)
     return index_array, arr[index_array]
 
 

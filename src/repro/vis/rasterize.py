@@ -78,13 +78,18 @@ def column_extents(
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError("expected a non-empty 1-D series")
     cols = pixel_columns(arr.size, width, positions=positions, x_range=x_range)
+    # Group points by column with one stable sort + segmented reductions —
+    # min/max are order-independent, so the values match the per-column
+    # Python loop exactly while the work is three array passes.
+    order = np.argsort(cols, kind="stable")
+    sorted_vals = arr[order]
+    boundaries = np.searchsorted(cols[order], np.arange(width + 1))
+    populated = boundaries[1:] > boundaries[:-1]
+    starts = boundaries[:-1][populated]
     extents = np.full((width, 2), np.nan)
-    for col in range(width):
-        mask = cols == col
-        if np.any(mask):
-            segment = arr[mask]
-            extents[col, 0] = segment.min()
-            extents[col, 1] = segment.max()
+    if starts.size:
+        extents[populated, 0] = np.minimum.reduceat(sorted_vals, starts)
+        extents[populated, 1] = np.maximum.reduceat(sorted_vals, starts)
     # Fill empty columns by interpolating between populated neighbours.
     populated = ~np.isnan(extents[:, 0])
     if not np.all(populated):
@@ -129,16 +134,16 @@ def rasterize(
     # y pixel rows: 0 at top; clamp into range.
     row_hi = np.clip(((1.0 - norm_lo) * (height - 1)).round().astype(int), 0, height - 1)
     row_lo = np.clip(((1.0 - norm_hi) * (height - 1)).round().astype(int), 0, height - 1)
-    grid = np.zeros((height, width), dtype=bool)
-    prev_lo = prev_hi = None
-    for col in range(width):
-        lo_px, hi_px = int(row_lo[col]), int(row_hi[col])
-        # Bridge to the previous column the way a polyline stroke does, so
-        # steep segments do not leave vertical gaps between columns.
-        if prev_hi is not None and lo_px > prev_hi:
-            lo_px = prev_hi + 1
-        elif prev_lo is not None and hi_px < prev_lo:
-            hi_px = prev_lo - 1
-        grid[lo_px : hi_px + 1, col] = True
-        prev_lo, prev_hi = int(row_lo[col]), int(row_hi[col])
-    return grid
+    # Bridge each column to its predecessor the way a polyline stroke does,
+    # so steep segments do not leave vertical gaps between columns.  The
+    # bridge reads the *unbridged* neighbour spans, so the whole adjustment
+    # is two shifted comparisons rather than a sequential scan.
+    lo_px = row_lo.copy()
+    hi_px = row_hi.copy()
+    if width > 1:
+        gap_up = row_lo[1:] > row_hi[:-1]
+        gap_down = ~gap_up & (row_hi[1:] < row_lo[:-1])
+        lo_px[1:] = np.where(gap_up, row_hi[:-1] + 1, lo_px[1:])
+        hi_px[1:] = np.where(gap_down, row_lo[:-1] - 1, hi_px[1:])
+    rows = np.arange(height)[:, np.newaxis]
+    return (rows >= lo_px) & (rows <= hi_px)

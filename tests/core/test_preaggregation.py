@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.preaggregation import point_to_pixel_ratio, preaggregate
+from repro.core.preaggregation import (
+    bucket_means,
+    expected_ratio,
+    point_to_pixel_ratio,
+    preaggregate,
+    prepare_search_input,
+)
 
 
 class TestRatio:
@@ -70,3 +76,95 @@ class TestPreaggregate:
             preaggregate(np.ones(10), 0)
         with pytest.raises(ValueError):
             preaggregate(np.ones((2, 5)), 2)
+
+
+class TestTailSemantics:
+    """The trailing-partial-bucket contract (and its include_partial switch)."""
+
+    def test_default_drops_partial_and_reports_usage(self):
+        values = np.arange(11.0)
+        result = preaggregate(values, 4)  # ratio 2, 5 full buckets, 1 dropped
+        assert result.values.size == 5
+        assert result.partial_bucket_points == 0
+        assert result.original_length == 11
+        assert result.original_length_used == 10  # the dropped tail is visible
+
+    def test_include_partial_appends_tail_mean(self):
+        values = np.arange(11.0)
+        result = preaggregate(values, 4, include_partial=True)
+        assert result.values.size == 6
+        assert result.values[-1] == values[10:].mean()
+        assert result.partial_bucket_points == 1
+        assert result.original_length_used == 11
+
+    def test_include_partial_noop_when_series_divides_evenly(self):
+        values = np.arange(12.0)
+        default = preaggregate(values, 4)
+        partial = preaggregate(values, 4, include_partial=True)
+        assert np.array_equal(default.values, partial.values)
+        assert partial.partial_bucket_points == 0
+
+    def test_both_paths_share_complete_buckets_bit_for_bit(self, rng):
+        values = rng.normal(size=1003)
+        default = preaggregate(values, 100)
+        partial = preaggregate(values, 100, include_partial=True)
+        assert np.array_equal(default.values, partial.values[:-1])
+
+
+class TestBucketMeans:
+    def test_matches_reshape_mean(self, rng):
+        values = rng.normal(size=103)
+        assert np.array_equal(
+            bucket_means(values, 10), values[:100].reshape(10, 10).mean(axis=1)
+        )
+
+    def test_ratio_one_is_identity(self, rng):
+        values = rng.normal(size=7)
+        out = bucket_means(values, 1)
+        assert np.array_equal(out, values)
+        out[0] = np.inf  # a copy, not a view
+        assert values[0] != np.inf
+
+    def test_chunked_bucketing_is_bit_identical(self, rng):
+        # The pyramid's property: bucketing a prefix then the rest produces
+        # the same buckets as bucketing the concatenation.
+        values = rng.normal(size=400)
+        whole = bucket_means(values, 16)
+        head = bucket_means(values[:160], 16)
+        tail = bucket_means(values[160:], 16)
+        assert np.array_equal(whole, np.concatenate([head, tail]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucket_means(np.ones(10), 0)
+        with pytest.raises(ValueError):
+            bucket_means(np.ones((2, 5)), 2)
+
+
+class TestPipelineStage:
+    def test_stage_matches_preaggregate(self, rng):
+        values = rng.normal(size=2400)
+        staged = prepare_search_input(values, 300)
+        direct = preaggregate(values, 300)
+        assert staged.ratio == direct.ratio
+        assert np.array_equal(staged.values, direct.values)
+
+    def test_stage_identity_when_disabled(self, rng):
+        values = rng.normal(size=2400)
+        staged = prepare_search_input(values, 300, use_preaggregation=False)
+        assert staged.ratio == 1
+        assert np.array_equal(staged.values, values)
+
+    def test_stage_validates_even_when_disabled(self):
+        with pytest.raises(ValueError):
+            prepare_search_input(np.ones(10), 0, use_preaggregation=False)
+        with pytest.raises(ValueError):
+            prepare_search_input(np.ones((2, 5)), 4, use_preaggregation=False)
+
+    def test_expected_ratio_predicts_stage(self, rng):
+        for n in (100, 159, 160, 1000, 2401):
+            values = rng.normal(size=n)
+            for resolution in (80, 300):
+                predicted = expected_ratio(n, resolution)
+                assert predicted == prepare_search_input(values, resolution).ratio
+            assert expected_ratio(n, 80, use_preaggregation=False) == 1

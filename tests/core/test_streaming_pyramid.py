@@ -1,0 +1,106 @@
+"""Tests for StreamingASAP's attached multi-resolution pyramid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preaggregation import bucket_means
+from repro.core.streaming import StreamingASAP
+from repro.pyramid import Pyramid, ViewSpec
+
+
+def make_stream(n: int, seed: int = 11) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    return t, np.sin(2 * np.pi * t / 180) + 0.3 * rng.normal(size=n)
+
+
+def drive(operator: StreamingASAP, ts, values, chunk: int = 257):
+    frames = []
+    for start in range(0, values.size, chunk):
+        frames.extend(operator.push_many(ts[start : start + chunk], values[start : start + chunk]))
+    return frames
+
+
+class TestAttachment:
+    def test_pyramid_true_builds_matching_capacity(self):
+        operator = StreamingASAP(pane_size=4, resolution=200, pyramid=True)
+        assert operator.pyramid is not None
+        assert operator.pyramid.capacity == 200
+
+    def test_prebuilt_pyramid_accepted(self):
+        pyramid = Pyramid(capacity=300)
+        operator = StreamingASAP(pane_size=2, resolution=300, pyramid=pyramid)
+        assert operator.pyramid is pyramid
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StreamingASAP(pane_size=2, resolution=300, pyramid=Pyramid(capacity=100))
+
+    def test_no_pyramid_view_raises_with_guidance(self):
+        operator = StreamingASAP(pane_size=2, resolution=100)
+        with pytest.raises(ValueError, match="pyramid=True"):
+            operator.pyramid_view(50)
+
+
+class TestFeed:
+    def test_pyramid_mirrors_window_after_sync(self):
+        ts, values = make_stream(12_000)
+        operator = StreamingASAP(pane_size=5, resolution=400, refresh_interval=20, pyramid=True)
+        drive(operator, ts, values)
+        operator.pyramid_view(100)  # syncs
+        assert np.array_equal(operator.pyramid.base_values(), operator.aggregated_values())
+        assert operator.pyramid.verify_levels() > 0
+
+    def test_view_matches_direct_bucketing_of_window(self):
+        ts, values = make_stream(12_000)
+        operator = StreamingASAP(pane_size=5, resolution=400, refresh_interval=20, pyramid=True)
+        drive(operator, ts, values)
+        for resolution in (40, 55, 100, 199):
+            view = operator.pyramid_view(resolution)
+            base = operator.pyramid.base_values()
+            start = view.base_start - operator.pyramid.window_start
+            direct = bucket_means(base[start : start + view.base_length], view.ratio)
+            assert np.allclose(view.values, direct, rtol=0, atol=1e-9)
+
+    def test_view_timestamps_are_pane_starts(self):
+        ts, values = make_stream(4000)
+        operator = StreamingASAP(pane_size=4, resolution=500, refresh_interval=25, pyramid=True)
+        drive(operator, ts, values)
+        view = operator.pyramid_view(ViewSpec(100))
+        # pane start timestamps step by pane_size; view buckets by ratio panes
+        expected_step = 4 * view.ratio
+        assert np.all(np.diff(view.timestamps) == expected_step)
+
+    def test_frames_identical_with_and_without_pyramid(self):
+        ts, values = make_stream(9000, seed=3)
+        with_pyramid = StreamingASAP(
+            pane_size=3, resolution=300, refresh_interval=30, incremental=True, pyramid=True
+        )
+        without = StreamingASAP(
+            pane_size=3, resolution=300, refresh_interval=30, incremental=True
+        )
+        frames_a = drive(with_pyramid, ts, values)
+        frames_b = drive(without, ts, values)
+        assert len(frames_a) == len(frames_b)
+        for a, b in zip(frames_a, frames_b):
+            assert a.window == b.window
+            assert np.array_equal(a.series.values, b.series.values)
+
+    def test_reset_clears_pyramid(self):
+        ts, values = make_stream(2000)
+        operator = StreamingASAP(pane_size=2, resolution=200, pyramid=True)
+        drive(operator, ts, values)
+        operator.reset()
+        assert operator.pyramid.total_appended == 0
+
+    def test_panes_completed_is_monotone_version(self):
+        ts, values = make_stream(1000)
+        operator = StreamingASAP(pane_size=4, resolution=50, pyramid=True)
+        seen = []
+        for start in range(0, 1000, 100):
+            operator.push_many(ts[start : start + 100], values[start : start + 100])
+            seen.append(operator.panes_completed)
+        assert seen == sorted(seen)
+        assert seen[-1] == 250  # includes panes evicted beyond the window

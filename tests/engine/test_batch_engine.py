@@ -64,10 +64,38 @@ class TestBitIdentity:
         )
         assert all(a == b for a, b in zip(looped, batched))
 
-    def test_ragged_batch_falls_back_and_matches(self, batch_series):
+    def test_ragged_same_cohort_batch_uses_fast_path_and_matches(self, batch_series):
+        # 2400 points at ratio 8 and 1200 points at ratio 4 both search 300
+        # values — one ratio cohort, one shared kernel call.
         ragged = [batch_series[0], batch_series[1][:1200]]
         result = smooth_many(ragged, resolution=300, strategy="grid2")
+        assert result.stats.used_fast_path
+        assert result.stats.ratio_cohorts == 1
+        assert result[0] == smooth(ragged[0], resolution=300, strategy="grid2")
+        assert result[1] == smooth(ragged[1], resolution=300, strategy="grid2")
+
+    def test_ragged_multi_cohort_batch_matches(self, batch_series):
+        # Three searched lengths, two of them shared: cohorts {300: 3, 333: 2,
+        # 250: 1} -> two shared kernel calls plus one singleton.
+        ragged = [
+            batch_series[0],            # 2400 -> ratio 8 -> 300
+            batch_series[1][:1200],     # 1200 -> ratio 4 -> 300
+            batch_series[2][:2100],     # 2100 -> ratio 7 -> 300
+            batch_series[3][:999],      # 999  -> ratio 3 -> 333
+            batch_series[4][:1998],     # 1998 -> ratio 6 -> 333
+            batch_series[5][:250],      # 250  -> under-oversampled -> 250
+        ]
+        result = smooth_many(ragged, resolution=300, strategy="grid10")
+        assert result.stats.used_fast_path
+        assert result.stats.ratio_cohorts == 2
+        for series, out in zip(ragged, result):
+            assert out == smooth(series, resolution=300, strategy="grid10")
+
+    def test_all_singleton_cohorts_fall_back_and_match(self, batch_series):
+        ragged = [batch_series[0], batch_series[1][:1000]]  # 300 vs 333
+        result = smooth_many(ragged, resolution=300, strategy="grid2")
         assert not result.stats.used_fast_path
+        assert result.stats.ratio_cohorts == 0
         assert result[0] == smooth(ragged[0], resolution=300, strategy="grid2")
         assert result[1] == smooth(ragged[1], resolution=300, strategy="grid2")
 

@@ -1,0 +1,158 @@
+"""Tests for the multi-resolution rollup store (repro.pyramid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preaggregation import bucket_means
+from repro.pyramid import (
+    DEFAULT_LEVEL_RATIOS,
+    Pyramid,
+    PyramidDriftError,
+    PyramidError,
+    PyramidLevel,
+    ViewSpec,
+)
+
+
+def feed_chunked(pyramid: Pyramid, values, seed: int = 0, max_chunk: int = 97) -> None:
+    """Feed values in randomized chunk sizes (the incremental path)."""
+    rng = np.random.default_rng(seed)
+    i = 0
+    while i < len(values):
+        step = int(rng.integers(1, max_chunk))
+        pyramid.extend(values[i : i + step])
+        i += step
+
+
+class TestLevelMaintenance:
+    def test_level_means_match_direct_bucketing_bit_for_bit(self, rng):
+        values = rng.normal(size=4096)
+        pyramid = Pyramid(capacity=4096)
+        feed_chunked(pyramid, values, seed=1)
+        for ratio in DEFAULT_LEVEL_RATIOS[1:]:
+            level = pyramid.level(ratio)
+            expected = bucket_means(values, ratio)
+            stored = level.values()
+            assert np.array_equal(stored, expected[len(expected) - len(stored) :])
+
+    def test_carry_over_across_chunk_boundaries(self, rng):
+        # Chunks of 1 force every bucket to straddle extend calls.
+        values = rng.normal(size=300)
+        pyramid = Pyramid(capacity=300, level_ratios=(1, 7))
+        for value in values:
+            pyramid.append(value)
+        assert np.array_equal(pyramid.level(7).values(), bucket_means(values, 7))
+        assert pyramid.level(7).partial_values == 300 % 7
+
+    def test_base_level_mirrors_window(self, rng):
+        values = rng.normal(size=1000)
+        pyramid = Pyramid(capacity=256)
+        feed_chunked(pyramid, values, seed=2)
+        assert np.array_equal(pyramid.base_values(), values[-256:])
+        assert pyramid.window_start == 1000 - 256
+        assert pyramid.total_appended == 1000
+
+    def test_eviction_keeps_alignment(self, rng):
+        values = rng.normal(size=10_000)
+        pyramid = Pyramid(capacity=512)
+        feed_chunked(pyramid, values, seed=3)
+        for ratio in (4, 16, 64):
+            level = pyramid.level(ratio)
+            # Retained bucket b covers values[b*ratio : (b+1)*ratio] globally.
+            first = level.first_retained
+            expected = bucket_means(values[first * ratio :], ratio)[: len(level)]
+            assert np.array_equal(level.values(), expected)
+
+    def test_default_timestamps_are_global_indices(self):
+        pyramid = Pyramid(capacity=64, level_ratios=(1, 4))
+        pyramid.extend(np.ones(10))
+        pyramid.extend(np.ones(10))
+        assert np.array_equal(pyramid.base_timestamps(), np.arange(20.0))
+        assert np.array_equal(pyramid.level(4).timestamps(), [0.0, 4.0, 8.0, 12.0, 16.0])
+
+    def test_explicit_timestamps(self):
+        pyramid = Pyramid(capacity=64, level_ratios=(1, 3))
+        pyramid.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+        assert np.array_equal(pyramid.level(3).timestamps(), [10.0, 40.0])
+        assert np.array_equal(pyramid.level(3).values(), [2.0, 5.0])
+
+    def test_clear(self, rng):
+        pyramid = Pyramid(capacity=64)
+        pyramid.extend(rng.normal(size=100))
+        pyramid.clear()
+        assert pyramid.total_appended == 0
+        assert pyramid.window_length == 0
+        assert all(stat.retained == 0 for stat in pyramid.stats.levels)
+
+    def test_stats(self, rng):
+        pyramid = Pyramid(capacity=100, level_ratios=(1, 10))
+        pyramid.extend(rng.normal(size=205))
+        stats = pyramid.stats
+        assert stats.total_appended == 205
+        by_ratio = {level.ratio: level for level in stats.levels}
+        assert by_ratio[1].retained == 100
+        assert by_ratio[1].evicted == 105
+        assert by_ratio[10].completed == 20
+        assert by_ratio[10].partial_values == 5
+        assert stats.retained_values > 0
+
+
+class TestValidation:
+    def test_capacity_and_ratio_validation(self):
+        with pytest.raises(ValueError):
+            Pyramid(capacity=0)
+        with pytest.raises(ValueError):
+            Pyramid(capacity=10, level_ratios=(0, 4))
+        with pytest.raises(ValueError):
+            PyramidLevel(ratio=1, capacity=0)
+        with pytest.raises(ValueError):
+            PyramidLevel(ratio=0, capacity=4)
+
+    def test_ratio_one_always_present(self):
+        pyramid = Pyramid(capacity=16, level_ratios=(4, 16))
+        assert pyramid.level_ratios[0] == 1
+
+    def test_mismatched_timestamps_rejected(self):
+        pyramid = Pyramid(capacity=16)
+        with pytest.raises(ValueError, match="equal lengths"):
+            pyramid.extend([1.0, 2.0], [0.0])
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(PyramidError, match="empty"):
+            Pyramid(capacity=16).view(4)
+
+
+class TestDriftGuard:
+    def test_verify_levels_passes_and_counts(self, rng):
+        pyramid = Pyramid(capacity=500)
+        feed_chunked(pyramid, rng.normal(size=3000), seed=4)
+        assert pyramid.verify_levels() > 0
+
+    def test_verify_levels_detects_injected_drift(self, rng):
+        pyramid = Pyramid(capacity=500)
+        feed_chunked(pyramid, rng.normal(size=3000), seed=5)
+        level = pyramid.level(16)
+        level._means.view()[-1] += 1e-6  # simulate a corrupted bucket
+        with pytest.raises(PyramidDriftError, match="ratio 16"):
+            pyramid.verify_levels()
+
+    def test_rebuild_restores_exactness(self, rng):
+        pyramid = Pyramid(capacity=500)
+        feed_chunked(pyramid, rng.normal(size=3000), seed=6)
+        pyramid.level(16)._means.view()[-1] += 1e-6
+        pyramid.rebuild()
+        assert pyramid.verify_levels() > 0
+
+    def test_rebuild_is_idempotent_on_exact_state(self, rng):
+        pyramid = Pyramid(capacity=400)
+        feed_chunked(pyramid, rng.normal(size=2000), seed=7)
+        before = {r: pyramid.level(r).values() for r in pyramid.level_ratios}
+        views_before = {r: pyramid.view(ViewSpec(25)).values for r in (1,)}
+        pyramid.rebuild()
+        for ratio in pyramid.level_ratios:
+            after = pyramid.level(ratio).values()
+            expected = before[ratio][len(before[ratio]) - len(after) :]
+            assert np.array_equal(after, expected)
+        assert np.array_equal(pyramid.view(ViewSpec(25)).values, views_before[1])

@@ -1,0 +1,124 @@
+"""Tests for view resolution: ViewSpec -> level + residual re-bucket."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preaggregation import MIN_OVERSAMPLING, bucket_means, preaggregate
+from repro.pyramid import Pyramid, ViewSpec
+
+
+def direct_span(pyramid: Pyramid, view) -> np.ndarray:
+    """The base values the view claims to cover."""
+    base = pyramid.base_values()
+    start = view.base_start - pyramid.window_start
+    return base[start : view.base_end - pyramid.window_start]
+
+
+@pytest.fixture(scope="module")
+def pyramid():
+    rng = np.random.default_rng(42)
+    pyramid = Pyramid(capacity=2000)
+    values = np.sin(np.arange(7000) / 30.0) + 0.2 * rng.normal(size=7000)
+    i = 0
+    while i < values.size:
+        step = int(rng.integers(1, 140))
+        pyramid.extend(values[i : i + step])
+        i += step
+    return pyramid
+
+
+class TestViewSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewSpec(resolution=0)
+
+    def test_int_shorthand(self, pyramid):
+        assert np.array_equal(pyramid.view(100).values, pyramid.view(ViewSpec(100)).values)
+
+
+class TestResolveLevel:
+    def test_exact_level_hit(self, pyramid):
+        assert pyramid.resolve_level(16) == (16, 1)
+        assert pyramid.resolve_level(64) == (64, 1)
+
+    def test_residual_rebucket(self, pyramid):
+        assert pyramid.resolve_level(32) == (16, 2)
+        assert pyramid.resolve_level(12) == (4, 3)
+
+    def test_falls_back_to_base_when_nothing_divides(self, pyramid):
+        assert pyramid.resolve_level(10) == (1, 10)
+        assert pyramid.resolve_level(7) == (1, 7)
+
+    def test_ratio_matches_direct_pipeline_rule(self, pyramid):
+        n = pyramid.window_length
+        for resolution in (10, 100, 999, n // 2, n, 2 * n):
+            expected = preaggregate(np.zeros(n), resolution).ratio
+            assert pyramid.view_ratio(resolution) == expected
+
+
+class TestViewEquivalence:
+    @pytest.mark.parametrize("resolution", [25, 31, 50, 100, 125, 333, 500, 999])
+    def test_values_match_direct_bucketing(self, pyramid, resolution):
+        view = pyramid.view(resolution)
+        direct = bucket_means(direct_span(pyramid, view), view.ratio)
+        assert view.values.size == direct.size
+        scale = max(1.0, float(np.abs(direct).max()))
+        assert np.abs(view.values - direct).max() <= 1e-9 * scale
+        if view.level_ratio == 1 or view.residual == 1:
+            assert np.array_equal(view.values, direct)
+
+    @pytest.mark.parametrize("resolution", [25, 100, 333])
+    def test_include_partial_matches_direct(self, pyramid, resolution):
+        view = pyramid.view(ViewSpec(resolution, include_partial=True))
+        direct = bucket_means(
+            direct_span(pyramid, view), view.ratio, include_partial=True
+        )
+        assert view.values.size == direct.size
+        assert np.allclose(view.values, direct, rtol=0, atol=1e-9)
+        if view.partial_points:
+            # The partial bucket is always recomputed from raw base values.
+            assert view.values[-1] == direct[-1]
+
+    def test_below_oversampling_serves_raw_window(self, pyramid):
+        n = pyramid.window_length
+        view = pyramid.view(n)  # window < 2 * resolution
+        assert view.ratio == 1 and not view.applied
+        assert np.array_equal(view.values, pyramid.base_values())
+
+    def test_bucket_count_matches_preaggregate_up_to_alignment(self, pyramid):
+        # The pyramid may trim < level_ratio head values for bucket alignment,
+        # so its bucket count is within one of the direct path's.
+        for resolution in (50, 100, 250):
+            view = pyramid.view(resolution)
+            direct = preaggregate(pyramid.base_values(), resolution)
+            assert direct.ratio == view.ratio
+            assert abs(int(direct.values.size) - int(view.values.size)) <= 1
+
+    def test_view_metadata(self, pyramid):
+        view = pyramid.view(100)
+        assert view.base_length == view.values.size * view.ratio
+        assert view.base_start % view.level_ratio == 0
+        assert view.timestamps.size == view.values.size
+        # timestamps are the first base timestamp of each bucket
+        base_ts = pyramid.base_timestamps()
+        start = view.base_start - pyramid.window_start
+        assert view.timestamps[0] == base_ts[start]
+
+    def test_window_round_trip(self, pyramid):
+        view = pyramid.view(100)
+        for window in (1, 2, 5, view.values.size // 10):
+            original = view.window_in_original_units(window)
+            assert original == window * view.ratio
+            assert original // view.ratio == window
+
+    def test_oversampling_threshold_matches_direct(self):
+        # Exactly at the threshold the ratio engages, below it it does not —
+        # the same MIN_OVERSAMPLING rule as preaggregate.
+        pyramid = Pyramid(capacity=160)
+        pyramid.extend(np.arange(160.0))
+        assert pyramid.view(80).ratio == MIN_OVERSAMPLING
+        pyramid_small = Pyramid(capacity=159)
+        pyramid_small.extend(np.arange(159.0))
+        assert pyramid_small.view(80).ratio == 1
