@@ -22,6 +22,10 @@ Packages:
 * :mod:`repro.engine` — the multi-series batch engine (``smooth_many``);
 * :mod:`repro.pyramid` — the multi-resolution rollup tier (``Pyramid``);
 * :mod:`repro.service` — the multi-tenant streaming service (``StreamHub``);
+* :mod:`repro.cluster` — the sharded serving tier (``ShardedHub``: consistent
+  hashing, process shards, live rebalancing, crash recovery);
+* :mod:`repro.persist` — durable checkpoint/restore of serving state
+  (bit-identical resumption, no pickle);
 * :mod:`repro.timeseries` — series container, statistics, dataset
   reconstructions;
 * :mod:`repro.spectral` — FFT, moving-average kernels, alternative filters;
@@ -41,12 +45,14 @@ from .core import (
     find_window,
     smooth,
 )
+from .cluster import ShardedHub
 from .engine import BatchEngine, BatchResult, smooth_many
+from .persist import checkpoint, restore
 from .pyramid import Pyramid, PyramidView, ViewSpec
 from .service import StreamConfig, StreamHub
 from .timeseries import TimeSeries
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ASAP",
@@ -57,13 +63,16 @@ __all__ = [
     "Pyramid",
     "PyramidView",
     "SearchResult",
+    "ShardedHub",
     "SmoothingResult",
     "StreamConfig",
     "StreamHub",
     "StreamingASAP",
     "TimeSeries",
     "ViewSpec",
+    "checkpoint",
     "find_window",
+    "restore",
     "smooth",
     "smooth_many",
     "__version__",

@@ -1,0 +1,41 @@
+"""repro.cluster — the sharded, durable serving tier.
+
+One process (one :class:`~repro.service.StreamHub`) smooths as fast as one
+core allows and forgets everything on restart.  This package scales past
+both limits:
+
+* :class:`ShardedHub` — the StreamHub API (``create_stream`` / ``ingest`` /
+  ``tick`` / ``snapshot`` / ``close`` / ``stats``) routed over a
+  consistent-hash ring (:class:`HashRing`, virtual nodes) to N shard
+  workers, with one batched IPC round per shard per tick;
+* shard backends (:mod:`repro.cluster.shard`) — in-process for tests and
+  semantics, ``multiprocessing`` command-loop workers for real parallelism;
+* live rebalancing — ``add_shard`` / ``remove_shard`` migrate exactly the
+  streams whose ring owner changed, shipping persist-layer session
+  snapshots (zero dropped panes, bit-identical subsequent frames);
+* crash recovery — ``kill_shard`` (failure injection) surfaces as
+  :class:`ShardDownError`; ``drop_shard`` + ``restore_streams`` re-serve
+  the lost sessions from the last :mod:`repro.persist` checkpoint.
+"""
+
+from .ring import HashRing
+from .shard import (
+    ClusterError,
+    InProcessShard,
+    ProcessShard,
+    RemoteShardError,
+    ShardDownError,
+    ShardProtocolError,
+)
+from .sharded import ShardedHub
+
+__all__ = [
+    "ShardedHub",
+    "HashRing",
+    "ClusterError",
+    "ShardDownError",
+    "ShardProtocolError",
+    "RemoteShardError",
+    "InProcessShard",
+    "ProcessShard",
+]

@@ -398,6 +398,57 @@ class RollingWindowState:
         self._anchor = None
         self.appended = 0
 
+    # -- serialization ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every maintained sum, flow, anchor, and the anchored window itself.
+
+        A state restored by :meth:`from_state` continues the add/subtract
+        chains from the exact same float values, so every subsequently derived
+        statistic is bit-identical to an uninterrupted instance
+        (see :mod:`repro.persist`).
+        """
+        return {
+            "capacity": self.capacity,
+            "lag_budget": self.lag_budget,
+            "values": self._ring.view().copy(),
+            "s": self._s.copy(),
+            "t": self._t,
+            "q": self._q,
+            "c3": self._c3,
+            "c4": self._c4,
+            "dsum": self._dsum,
+            "dsq": self._dsq,
+            "danchor": self._danchor,
+            "flow2": self._flow2,
+            "flow4": self._flow4,
+            "flowd2": self._flowd2,
+            "anchor": self._anchor,
+            "appended": self.appended,
+            "rebuilds": self.rebuilds,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RollingWindowState":
+        """Rebuild rolling statistics from :meth:`state_dict` output."""
+        rolling = cls(capacity=int(state["capacity"]), lag_budget=int(state["lag_budget"]))
+        rolling._ring.append_many(np.asarray(state["values"], dtype=np.float64))
+        rolling._s[:] = np.asarray(state["s"], dtype=np.float64)
+        rolling._t = float(state["t"])
+        rolling._q = float(state["q"])
+        rolling._c3 = float(state["c3"])
+        rolling._c4 = float(state["c4"])
+        rolling._dsum = float(state["dsum"])
+        rolling._dsq = float(state["dsq"])
+        rolling._danchor = float(state["danchor"])
+        rolling._flow2 = float(state["flow2"])
+        rolling._flow4 = float(state["flow4"])
+        rolling._flowd2 = float(state["flowd2"])
+        rolling._anchor = None if state["anchor"] is None else float(state["anchor"])
+        rolling.appended = int(state["appended"])
+        rolling.rebuilds = int(state["rebuilds"])
+        return rolling
+
     # -- derived statistics ---------------------------------------------------
 
     def correlations(self, max_lag: int) -> np.ndarray:
@@ -777,6 +828,80 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._previous_window = None
         self._refresh_due = False
         self._refreshes_since_rebuild = 0
+
+    # -- serialization ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full operator state: configuration, pane buffer, rolling sums, pyramid.
+
+        The schema (documented in :mod:`repro.persist`) is everything a
+        restored operator needs to emit **bit-identical** subsequent frames:
+        the refresh countdown, the previous window (``CHECKLASTWINDOW``'s
+        seed), the deferred-refresh flag, and every counter — plus the nested
+        state of the pane buffer, the incremental statistics, and the attached
+        pyramid.  Per-refresh evaluation caches are *not* persisted; they are
+        rebuilt lazily on the next refresh.
+        """
+        return {
+            "pane_size": self._buffer.pane_size,
+            "resolution": self._buffer.capacity,
+            "refresh_interval": self.refresh_interval,
+            "strategy": self.strategy,
+            "max_window": self.max_window,
+            "seed_from_previous": self.seed_from_previous,
+            "incremental": self.incremental,
+            "recompute_every": self.recompute_every,
+            "verify_incremental": self.verify_incremental,
+            "keep_pane_sketches": self._buffer.keep_sketches,
+            "panes_since_refresh": self._panes_since_refresh,
+            "previous_window": self._previous_window,
+            "refresh_due": self._refresh_due,
+            "refresh_count": self._refresh_count,
+            "searches_run": self._searches_run,
+            "candidates_evaluated": self._candidates_evaluated,
+            "refreshes_since_rebuild": self._refreshes_since_rebuild,
+            "full_recomputes": self._full_recomputes,
+            "exact_fallbacks": self._exact_fallbacks,
+            "buffer": self._buffer.state_dict(),
+            "rolling": None if self._rolling is None else self._rolling.state_dict(),
+            "pyramid": None if self.pyramid is None else self.pyramid.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingASAP":
+        """Rebuild an operator from :meth:`state_dict` output (exact resume)."""
+        operator = cls(
+            pane_size=int(state["pane_size"]),
+            resolution=int(state["resolution"]),
+            refresh_interval=int(state["refresh_interval"]),
+            strategy=str(state["strategy"]),
+            max_window=None if state["max_window"] is None else int(state["max_window"]),
+            seed_from_previous=bool(state["seed_from_previous"]),
+            incremental=bool(state["incremental"]),
+            recompute_every=int(state["recompute_every"]),
+            verify_incremental=bool(state["verify_incremental"]),
+            keep_pane_sketches=bool(state["keep_pane_sketches"]),
+            pyramid=False,
+        )
+        operator._buffer = PaneBuffer.from_state(state["buffer"])
+        operator._rolling = (
+            None if state["rolling"] is None else RollingWindowState.from_state(state["rolling"])
+        )
+        operator.pyramid = (
+            None if state["pyramid"] is None else Pyramid.from_state(state["pyramid"])
+        )
+        operator._panes_since_refresh = int(state["panes_since_refresh"])
+        operator._previous_window = (
+            None if state["previous_window"] is None else int(state["previous_window"])
+        )
+        operator._refresh_due = bool(state["refresh_due"])
+        operator._refresh_count = int(state["refresh_count"])
+        operator._searches_run = int(state["searches_run"])
+        operator._candidates_evaluated = int(state["candidates_evaluated"])
+        operator._refreshes_since_rebuild = int(state["refreshes_since_rebuild"])
+        operator._full_recomputes = int(state["full_recomputes"])
+        operator._exact_fallbacks = int(state["exact_fallbacks"])
+        return operator
 
     # -- Algorithm 3 internals --------------------------------------------------
 

@@ -1,0 +1,129 @@
+"""The checkpoint wire format: nested state dicts <-> one NPZ payload.
+
+Checkpoints are **dependency-free**: the only serialization machinery used is
+the standard library's :mod:`json` plus numpy's NPZ container (a zip of
+``.npy`` files), both of which every consumer of this repo already has.  No
+pickle is ever written or read (``np.load`` runs with ``allow_pickle=False``),
+so a checkpoint can be inspected, diffed, and loaded across Python versions
+without executing anything.
+
+**Layout.**  A payload is ``np.savez_compressed`` output with:
+
+* ``manifest`` — a UTF-8 JSON document stored as a ``uint8`` array:
+  ``{"schema": <int>, "kind": <str>, "state": <tree>}``.  The tree mirrors
+  the producer's ``state_dict()`` nesting; scalars (bool/int/float/str/None)
+  are stored inline — floats round-trip exactly because :mod:`json` writes
+  shortest-repr float64, and non-finite floats use JSON's ``NaN``/
+  ``Infinity`` extension — and every numpy array is replaced by the marker
+  ``{"__npz__": "<entry>"}``;
+* one NPZ entry per array, named ``arr0``, ``arr1``, ... in tree order.
+
+``loads``/``load`` invert the transformation and enforce the schema version:
+a payload written by a *newer* schema is rejected with
+:class:`CheckpointError` naming both versions (the policy is a single
+monotone integer — any field change that old readers would misinterpret bumps
+it; see the README's "Cluster & durability" section).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"]
+
+#: Bumped on any incompatible change to the manifest layout or any producer's
+#: ``state_dict()`` fields.  Readers reject payloads with a different version.
+SCHEMA_VERSION = 1
+
+#: Marker key replacing numpy arrays in the JSON manifest tree.
+_ARRAY_MARKER = "__npz__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint payload could not be produced or understood."""
+
+
+def _flatten(node, arrays: dict, path: str):
+    """Replace arrays with NPZ markers; validate everything else is JSON-safe."""
+    if isinstance(node, np.ndarray):
+        entry = f"arr{len(arrays)}"
+        arrays[entry] = node
+        return {_ARRAY_MARKER: entry}
+    if isinstance(node, dict):
+        if _ARRAY_MARKER in node:
+            raise CheckpointError(f"state dict at {path!r} uses the reserved key {_ARRAY_MARKER!r}")
+        return {str(key): _flatten(value, arrays, f"{path}.{key}") for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_flatten(value, arrays, f"{path}[{i}]") for i, value in enumerate(node)]
+    if isinstance(node, (np.integer, np.floating, np.bool_)):
+        return node.item()
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise CheckpointError(
+        f"state at {path!r} has unserializable type {type(node).__name__!r}; "
+        f"checkpoint state must be scalars, strings, None, lists/dicts, or "
+        f"numpy arrays"
+    )
+
+
+def _restore(node, archive):
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARKER}:
+            return archive[node[_ARRAY_MARKER]]
+        return {key: _restore(value, archive) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_restore(value, archive) for value in node]
+    return node
+
+
+def dumps(kind: str, state: dict) -> bytes:
+    """Encode one state tree as a schema-versioned NPZ payload."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "kind": str(kind),
+        "state": _flatten(state, arrays, "state"),
+    }
+    encoded = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, manifest=encoded, **arrays)
+    return buffer.getvalue()
+
+
+def loads(data: bytes) -> tuple[str, dict]:
+    """Decode a payload produced by :func:`dumps`; returns ``(kind, state)``."""
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            if "manifest" not in archive:
+                raise CheckpointError("payload has no manifest; not a repro checkpoint")
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+            schema = manifest.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise CheckpointError(
+                    f"checkpoint schema version {schema!r} is not supported by "
+                    f"this reader (version {SCHEMA_VERSION}); re-checkpoint with "
+                    f"a matching version of the library"
+                )
+            state = _restore(manifest["state"], archive)
+    except (zipfile.BadZipFile, ValueError, KeyError) as exc:
+        raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
+    return manifest["kind"], state
+
+
+def dump(kind: str, state: dict, path) -> Path:
+    """Encode and write a payload; returns the path written."""
+    path = Path(path)
+    path.write_bytes(dumps(kind, state))
+    return path
+
+
+def load(source) -> tuple[str, dict]:
+    """Decode a payload from raw ``bytes`` or a filesystem path."""
+    if isinstance(source, (bytes, bytearray)):
+        return loads(bytes(source))
+    return loads(Path(source).read_bytes())

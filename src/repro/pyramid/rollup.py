@@ -205,6 +205,31 @@ class PyramidLevel:
         self.completed = 0
         self.evicted = 0
 
+    def state_dict(self) -> dict:
+        """Retained buckets, the open bucket's carry-over, and the counters."""
+        return {
+            "ratio": self.ratio,
+            "capacity": self.capacity,
+            "means": self._means.view().copy(),
+            "times": self._times.view().copy(),
+            "tail_values": self._tail_values.copy(),
+            "tail_times": self._tail_times.copy(),
+            "completed": self.completed,
+            "evicted": self.evicted,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PyramidLevel":
+        """Rebuild a level from :meth:`state_dict` output (exact resume)."""
+        level = cls(ratio=int(state["ratio"]), capacity=int(state["capacity"]))
+        level._means.append_many(np.asarray(state["means"], dtype=np.float64))
+        level._times.append_many(np.asarray(state["times"], dtype=np.float64))
+        level._tail_values = np.asarray(state["tail_values"], dtype=np.float64).copy()
+        level._tail_times = np.asarray(state["tail_times"], dtype=np.float64).copy()
+        level.completed = int(state["completed"])
+        level.evicted = int(state["evicted"])
+        return level
+
     def __repr__(self) -> str:
         return (
             f"PyramidLevel(ratio={self.ratio}, retained={len(self)}/{self.capacity}, "
@@ -280,6 +305,34 @@ class Pyramid:
         """Drop all state (e.g. the consumer's window was reset)."""
         for level in self._levels.values():
             level.clear()
+
+    # -- serialization ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every level's buckets and carry-over (see :mod:`repro.persist`).
+
+        The maintenance path is exact, so a pyramid restored by
+        :meth:`from_state` completes, evicts, and serves views bit-identically
+        to an uninterrupted one fed the same subsequent values.
+        """
+        return {
+            "capacity": self.capacity,
+            "level_ratios": list(self.level_ratios),
+            "levels": [self._levels[ratio].state_dict() for ratio in self.level_ratios],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Pyramid":
+        """Rebuild a pyramid from :meth:`state_dict` output (exact resume)."""
+        pyramid = cls(
+            capacity=int(state["capacity"]),
+            level_ratios=tuple(int(r) for r in state["level_ratios"]),
+        )
+        for level_state in state["levels"]:
+            restored = PyramidLevel.from_state(level_state)
+            pyramid._levels[restored.ratio] = restored
+        pyramid._base = pyramid._levels[1]
+        return pyramid
 
     # -- introspection ---------------------------------------------------------
 

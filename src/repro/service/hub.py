@@ -32,7 +32,6 @@ on-demand boundary, together.  :class:`StreamHub` is that serving layer:
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import threading
 from dataclasses import dataclass, field
 
@@ -55,6 +54,21 @@ __all__ = [
     "HubAtCapacityError",
     "UnknownStreamError",
 ]
+
+
+def allocate_auto_id(prefix: str, counter: int, taken) -> tuple[str, int]:
+    """First free ``f"{prefix}-{n}"`` id at or after *counter*.
+
+    Returns ``(id, next counter)``.  The one id-allocation rule, shared by
+    the hub's auto stream ids and the cluster tier's stream/shard ids, so a
+    policy change (collision handling, numbering) lands everywhere at once.
+    """
+    candidate = f"{prefix}-{counter}"
+    counter += 1
+    while candidate in taken:
+        candidate = f"{prefix}-{counter}"
+        counter += 1
+    return candidate, counter
 
 
 class HubError(RuntimeError):
@@ -164,7 +178,14 @@ class ResolutionSnapshot:
 
 @dataclass(frozen=True)
 class HubStats:
-    """Aggregate accounting across the hub's lifetime."""
+    """Aggregate accounting across the hub's lifetime.
+
+    ``sessions_imported``/``sessions_exported`` count sessions that entered or
+    left this hub as state snapshots (:meth:`StreamHub.import_session` /
+    :meth:`StreamHub.export_session` with ``remove=True``) — the cluster
+    tier's migration and restore traffic — separately from sessions created
+    and closed through the ordinary lifecycle.
+    """
 
     sessions_active: int
     sessions_created: int
@@ -177,6 +198,8 @@ class HubStats:
     grid_kernel_calls: int
     views_served: int
     view_cache_hits: int
+    sessions_imported: int = 0
+    sessions_exported: int = 0
 
 
 @dataclass
@@ -254,11 +277,13 @@ class StreamHub:
         self.idle_ticks_before_eviction = idle_ticks_before_eviction
         self._sessions: dict[str, _Session] = {}
         self._lock = threading.RLock()
-        self._auto_ids = itertools.count()
+        self._next_auto_id = 0
         self._tick = 0
         self._sessions_created = 0
         self._sessions_closed = 0
         self._sessions_evicted = 0
+        self._sessions_imported = 0
+        self._sessions_exported = 0
         self._points_ingested = 0
         self._frames_emitted = 0
         self._refreshes_coalesced = 0
@@ -298,25 +323,8 @@ class StreamHub:
             cfg = dataclasses.replace(cfg, **overrides)
         self._check_pane_budget(cfg)
         with self._lock:
-            if stream_id is None:
-                stream_id = f"stream-{next(self._auto_ids)}"
-                while stream_id in self._sessions:
-                    stream_id = f"stream-{next(self._auto_ids)}"
-            elif stream_id in self._sessions:
-                raise HubError(f"stream id {stream_id!r} already exists")
-            if len(self._sessions) >= self.max_sessions:
-                if self.eviction_policy == "reject":
-                    raise HubAtCapacityError(
-                        f"hub is at max_sessions={self.max_sessions}"
-                    )
-                victim = min(
-                    self._sessions.values(),
-                    key=lambda s: (s.last_active_tick, s.created_tick),
-                )
-                with victim.lock:
-                    victim.closed = True  # in-flight ingests must fail, as on close()
-                del self._sessions[victim.stream_id]
-                self._sessions_evicted += 1
+            stream_id = self._claim_stream_id(stream_id)
+            self._admit_locked()
             self._sessions[stream_id] = _Session(
                 stream_id=stream_id,
                 operator=cfg.build_operator(),
@@ -326,6 +334,31 @@ class StreamHub:
             )
             self._sessions_created += 1
         return stream_id
+
+    def _claim_stream_id(self, stream_id: str | None) -> str:
+        """Allocate an auto id, or validate a caller-chosen one (under lock)."""
+        if stream_id is None:
+            stream_id, self._next_auto_id = allocate_auto_id(
+                "stream", self._next_auto_id, self._sessions
+            )
+        elif stream_id in self._sessions:
+            raise HubError(f"stream id {stream_id!r} already exists")
+        return stream_id
+
+    def _admit_locked(self) -> None:
+        """Make room for one more session, per eviction policy (under lock)."""
+        if len(self._sessions) < self.max_sessions:
+            return
+        if self.eviction_policy == "reject":
+            raise HubAtCapacityError(f"hub is at max_sessions={self.max_sessions}")
+        victim = min(
+            self._sessions.values(),
+            key=lambda s: (s.last_active_tick, s.created_tick),
+        )
+        with victim.lock:
+            victim.closed = True  # in-flight ingests must fail, as on close()
+        del self._sessions[victim.stream_id]
+        self._sessions_evicted += 1
 
     def close(self, stream_id: str, flush: bool = True) -> list[Frame]:
         """Remove a session; with *flush*, emit its final pending frame(s)."""
@@ -631,6 +664,163 @@ class StreamHub:
             cache.pop(next(iter(cache)))
         cache[key] = (version, snap)
 
+    # -- durability (see repro.persist) ----------------------------------------
+
+    #: Payload kind written by :func:`repro.persist.checkpoint`.
+    checkpoint_kind = "streamhub"
+
+    def export_session(self, stream_id: str, remove: bool = False) -> dict:
+        """One session's full state as a plain dict (the persist-layer schema).
+
+        The returned tree — config, bookkeeping, and the operator's
+        :meth:`~repro.core.streaming.StreamingASAP.state_dict` — is exactly
+        what :meth:`import_session` needs to resume the session with
+        bit-identical subsequent frames; per-session view caches are not
+        included (they rebuild lazily).  With ``remove=True`` the session is
+        atomically taken out of this hub (no flush — every pending pane and
+        partial pane travels with the state), which is the cluster tier's
+        migration primitive.
+        """
+        if remove:
+            with self._lock:
+                session = self._sessions.pop(stream_id, None)
+                if session is None:
+                    raise UnknownStreamError(stream_id)
+                self._sessions_exported += 1
+            with session.lock:
+                session.closed = True  # as on close(): fail racing ingests
+                return self._session_state(session)
+        session = self._get(stream_id)
+        with session.lock:
+            if session.closed:
+                raise UnknownStreamError(stream_id)
+            return self._session_state(session)
+
+    @staticmethod
+    def _session_state(session: _Session) -> dict:
+        """Serialize one session under its lock (caller holds it)."""
+        return {
+            "stream_id": session.stream_id,
+            "config": dataclasses.asdict(session.config),
+            "created_tick": session.created_tick,
+            "last_active_tick": session.last_active_tick,
+            "frames_emitted": session.frames_emitted,
+            "operator": session.operator.state_dict(),
+        }
+
+    def import_session(self, state: dict, stream_id: str | None = None) -> str:
+        """Adopt a session exported by :meth:`export_session`; returns its id.
+
+        The session resumes exactly where the export left it — refresh
+        countdown, previous window, open partial pane, incremental sums, and
+        pyramid included — so frames it emits here are bit-identical to the
+        ones it would have emitted on the exporting hub.  *stream_id*
+        overrides the exported id; the hub's pane budget and capacity policy
+        apply as on :meth:`create_stream`.
+        """
+        cfg = StreamConfig(**state["config"])
+        self._check_pane_budget(cfg)
+        operator = StreamingASAP.from_state(state["operator"])
+        with self._lock:
+            sid = stream_id if stream_id is not None else str(state["stream_id"])
+            if sid in self._sessions:
+                raise HubError(f"stream id {sid!r} already exists")
+            self._admit_locked()
+            self._sessions[sid] = _Session(
+                stream_id=sid,
+                operator=operator,
+                config=cfg,
+                created_tick=int(state["created_tick"]),
+                last_active_tick=int(state["last_active_tick"]),
+                frames_emitted=int(state["frames_emitted"]),
+            )
+            self._sessions_imported += 1
+        return sid
+
+    def state_dict(self) -> dict:
+        """The whole hub — parameters, counters, and every session's state.
+
+        The registry lock is held for the whole serialization (counters and
+        sessions captured together), so a checkpoint taken while other
+        threads ingest is a *consistent* point in time — concurrent
+        mutations land entirely before or entirely after it.  Taking session
+        locks while holding the registry lock follows the same order as
+        ``create_stream``'s eviction, so this cannot deadlock against the
+        ingest/snapshot paths (which never hold a session lock while
+        acquiring the registry lock).
+        """
+        with self._lock:
+            state = {
+                "max_sessions": self.max_sessions,
+                "max_panes_per_session": self.max_panes_per_session,
+                "default_config": dataclasses.asdict(self.default_config),
+                "eviction_policy": self.eviction_policy,
+                "idle_ticks_before_eviction": self.idle_ticks_before_eviction,
+                "tick": self._tick,
+                "next_auto_id": self._next_auto_id,
+                "counters": {
+                    "sessions_created": self._sessions_created,
+                    "sessions_closed": self._sessions_closed,
+                    "sessions_evicted": self._sessions_evicted,
+                    "sessions_imported": self._sessions_imported,
+                    "sessions_exported": self._sessions_exported,
+                    "points_ingested": self._points_ingested,
+                    "frames_emitted": self._frames_emitted,
+                    "refreshes_coalesced": self._refreshes_coalesced,
+                    "grid_kernel_calls": self._grid_kernel_calls,
+                    "views_served": self._views_served,
+                    "view_cache_hits": self._view_cache_hits,
+                },
+            }
+            sessions = []
+            for session in self._sessions.values():
+                with session.lock:
+                    if not session.closed:
+                        sessions.append(self._session_state(session))
+            state["sessions"] = sessions
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamHub":
+        """Rebuild a hub from :meth:`state_dict` output (exact resume)."""
+        hub = cls(
+            max_sessions=int(state["max_sessions"]),
+            max_panes_per_session=int(state["max_panes_per_session"]),
+            default_config=StreamConfig(**state["default_config"]),
+            eviction_policy=str(state["eviction_policy"]),
+            idle_ticks_before_eviction=(
+                None
+                if state["idle_ticks_before_eviction"] is None
+                else int(state["idle_ticks_before_eviction"])
+            ),
+        )
+        hub._tick = int(state["tick"])
+        hub._next_auto_id = int(state["next_auto_id"])
+        counters = state["counters"]
+        hub._sessions_created = int(counters["sessions_created"])
+        hub._sessions_closed = int(counters["sessions_closed"])
+        hub._sessions_evicted = int(counters["sessions_evicted"])
+        hub._sessions_imported = int(counters["sessions_imported"])
+        hub._sessions_exported = int(counters["sessions_exported"])
+        hub._points_ingested = int(counters["points_ingested"])
+        hub._frames_emitted = int(counters["frames_emitted"])
+        hub._refreshes_coalesced = int(counters["refreshes_coalesced"])
+        hub._grid_kernel_calls = int(counters["grid_kernel_calls"])
+        hub._views_served = int(counters["views_served"])
+        hub._view_cache_hits = int(counters["view_cache_hits"])
+        for session_state in state["sessions"]:
+            cfg = StreamConfig(**session_state["config"])
+            hub._check_pane_budget(cfg)
+            hub._sessions[str(session_state["stream_id"])] = _Session(
+                stream_id=str(session_state["stream_id"]),
+                operator=StreamingASAP.from_state(session_state["operator"]),
+                config=cfg,
+                created_tick=int(session_state["created_tick"]),
+                last_active_tick=int(session_state["last_active_tick"]),
+                frames_emitted=int(session_state["frames_emitted"]),
+            )
+        return hub
+
     @property
     def stats(self) -> HubStats:
         """Aggregate hub accounting (sessions, points, frames, coalescing)."""
@@ -647,6 +837,8 @@ class StreamHub:
                 grid_kernel_calls=self._grid_kernel_calls,
                 views_served=self._views_served,
                 view_cache_hits=self._view_cache_hits,
+                sessions_imported=self._sessions_imported,
+                sessions_exported=self._sessions_exported,
             )
 
     def __repr__(self) -> str:

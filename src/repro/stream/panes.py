@@ -470,3 +470,103 @@ class PaneBuffer:
         needs to account for it.
         """
         self.reset()
+
+    # -- serialization -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full buffer state as plain scalars/arrays (see :mod:`repro.persist`).
+
+        Captures everything ingestion semantics depend on — retained means
+        and timestamps, per-pane sketches when kept, the *open* partial pane,
+        the pending journal, and the eviction counters — so a buffer restored
+        by :meth:`from_state` folds subsequent points exactly as the original
+        would have (completions, evictions, and journal entries included).
+        """
+        state = {
+            "pane_size": self.pane_size,
+            "capacity": self.capacity,
+            "journal": self.journal,
+            "keep_sketches": self.keep_sketches,
+            "means": self._means.view().copy(),
+            "times": self._times.view().copy(),
+            "total_points": self._total_points,
+            "evicted_panes": self._evicted_panes,
+            "pending_means": np.asarray(self._pending_means, dtype=np.float64),
+            "pending_times": np.asarray(self._pending_times, dtype=np.float64),
+            "open": None if self._open is None else _pane_state(self._open),
+        }
+        if self.keep_sketches:
+            panes = list(self._panes)
+            state["panes"] = {
+                "start_time": np.array([p.start_time for p in panes], dtype=np.float64),
+                "count": np.array([p.sketch.count for p in panes], dtype=np.int64),
+                "mean": np.array([p.sketch.mean for p in panes], dtype=np.float64),
+                "m2": np.array([p.sketch.m2 for p in panes], dtype=np.float64),
+                "m3": np.array([p.sketch.m3 for p in panes], dtype=np.float64),
+                "m4": np.array([p.sketch.m4 for p in panes], dtype=np.float64),
+            }
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PaneBuffer":
+        """Rebuild a buffer from :meth:`state_dict` output (exact resume)."""
+        buffer = cls(
+            pane_size=int(state["pane_size"]),
+            capacity=int(state["capacity"]),
+            journal=bool(state["journal"]),
+            keep_sketches=bool(state["keep_sketches"]),
+        )
+        buffer._means.append_many(np.asarray(state["means"], dtype=np.float64))
+        buffer._times.append_many(np.asarray(state["times"], dtype=np.float64))
+        buffer._total_points = int(state["total_points"])
+        buffer._evicted_panes = int(state["evicted_panes"])
+        buffer._pending_means = list(np.asarray(state["pending_means"], dtype=np.float64))
+        buffer._pending_times = list(np.asarray(state["pending_times"], dtype=np.float64))
+        if state["open"] is not None:
+            buffer._open = _pane_from_state(state["open"])
+        if buffer.keep_sketches:
+            panes = state["panes"]
+            starts = np.asarray(panes["start_time"], dtype=np.float64)
+            counts = np.asarray(panes["count"], dtype=np.int64)
+            means = np.asarray(panes["mean"], dtype=np.float64)
+            m2s = np.asarray(panes["m2"], dtype=np.float64)
+            m3s = np.asarray(panes["m3"], dtype=np.float64)
+            m4s = np.asarray(panes["m4"], dtype=np.float64)
+            buffer._panes.extend(
+                Pane(
+                    start_time=float(starts[i]),
+                    sketch=MomentSketch(
+                        count=int(counts[i]),
+                        mean=float(means[i]),
+                        m2=float(m2s[i]),
+                        m3=float(m3s[i]),
+                        m4=float(m4s[i]),
+                    ),
+                )
+                for i in range(starts.size)
+            )
+        return buffer
+
+
+def _pane_state(pane: Pane) -> dict:
+    return {
+        "start_time": pane.start_time,
+        "count": pane.sketch.count,
+        "mean": pane.sketch.mean,
+        "m2": pane.sketch.m2,
+        "m3": pane.sketch.m3,
+        "m4": pane.sketch.m4,
+    }
+
+
+def _pane_from_state(state: dict) -> Pane:
+    return Pane(
+        start_time=float(state["start_time"]),
+        sketch=MomentSketch(
+            count=int(state["count"]),
+            mean=float(state["mean"]),
+            m2=float(state["m2"]),
+            m3=float(state["m3"]),
+            m4=float(state["m4"]),
+        ),
+    )

@@ -57,18 +57,51 @@ def write_csv(series: TimeSeries, path) -> None:
 
 
 def read_jsonl(path, name: str = "") -> TimeSeries:
-    """Read line-delimited JSON objects ``{"t": ..., "v": ...}``."""
+    """Read line-delimited JSON objects ``{"t": ..., "v": ...}``.
+
+    Malformed rows — invalid JSON, a non-object row, a missing ``t``/``v``
+    field, or a non-numeric field — raise :class:`ValueError` naming the
+    file and 1-based line number, so a bad record in a million-line export
+    is findable instead of surfacing as a bare ``KeyError``.  Values written
+    by :func:`write_jsonl` round-trip exactly (:mod:`json` serializes floats
+    at shortest-repr precision), including non-finite values via JSON's
+    ``NaN``/``Infinity`` extension — though a series containing them will
+    then be rejected by :class:`TimeSeries` itself, which requires finite
+    values.
+    """
     path = Path(path)
     timestamps: list[float] = []
     values: list[float] = []
     with path.open() as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            timestamps.append(float(record["t"]))
-            values.append(float(record["v"]))
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc.msg}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected an object with 't' and 'v' "
+                    f"fields, got {type(record).__name__}"
+                )
+            try:
+                timestamp, value = record["t"], record["v"]
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: record is missing the {exc.args[0]!r} field"
+                ) from exc
+            for field, raw in (("t", timestamp), ("v", value)):
+                # float() would happily coerce booleans and numeric strings
+                # (producer type bugs); only JSON numbers are acceptable.
+                if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                    raise ValueError(
+                        f"{path}:{lineno}: non-numeric {field!r} field: "
+                        f"{raw!r} ({type(raw).__name__})"
+                    )
+            timestamps.append(float(timestamp))
+            values.append(float(value))
     return TimeSeries(values, timestamps, name=name or path.stem)
 
 

@@ -1,0 +1,84 @@
+"""Unit tests for the consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+def keys(n):
+    return [f"stream-{i}" for i in range(n)]
+
+
+def test_routing_is_deterministic_and_order_insensitive():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s2", "s0", "s1"])
+    for key in keys(200):
+        assert a.node_for(key) == b.node_for(key)
+
+
+def test_placement_is_stable_across_instances():
+    # blake2b-based points: the same ring always routes the same way, in any
+    # process, regardless of PYTHONHASHSEED.
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    again = HashRing(["s0", "s1", "s2", "s3"])
+    assert ring.placement(keys(500)) == again.placement(keys(500))
+
+
+def test_all_nodes_receive_keys():
+    ring = HashRing([f"s{i}" for i in range(4)], replicas=64)
+    owners = set(ring.placement(keys(1000)).values())
+    assert owners == {"s0", "s1", "s2", "s3"}
+
+
+def test_spread_is_reasonable():
+    ring = HashRing([f"s{i}" for i in range(4)], replicas=64)
+    counts = {node: 0 for node in ring.nodes}
+    for _key, node in ring.placement(keys(4000)).items():
+        counts[node] += 1
+    assert min(counts.values()) > 4000 / 4 / 3  # no node starves badly
+
+
+def test_adding_a_node_moves_only_keys_to_that_node():
+    ring = HashRing(["s0", "s1", "s2"])
+    before = ring.placement(keys(1000))
+    ring.add_node("s3")
+    after = ring.placement(keys(1000))
+    moved = {k for k in before if before[k] != after[k]}
+    assert moved, "a new node should take over some keys"
+    assert all(after[k] == "s3" for k in moved)  # the consistent-hash property
+
+
+def test_removing_a_node_moves_only_its_keys():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    before = ring.placement(keys(1000))
+    ring.remove_node("s3")
+    after = ring.placement(keys(1000))
+    for key in keys(1000):
+        if before[key] != "s3":
+            assert after[key] == before[key]
+        else:
+            assert after[key] != "s3"
+
+
+def test_add_remove_round_trip_restores_placement():
+    ring = HashRing(["s0", "s1"])
+    before = ring.placement(keys(300))
+    ring.add_node("s2")
+    ring.remove_node("s2")
+    assert ring.placement(keys(300)) == before
+
+
+def test_membership_and_validation():
+    ring = HashRing(["s0"])
+    assert "s0" in ring and len(ring) == 1
+    with pytest.raises(ValueError, match="already on the ring"):
+        ring.add_node("s0")
+    with pytest.raises(ValueError, match="not on the ring"):
+        ring.remove_node("ghost")
+    ring.remove_node("s0")
+    with pytest.raises(ValueError, match="empty ring"):
+        ring.node_for("anything")
+    with pytest.raises(ValueError, match="replicas"):
+        HashRing(replicas=0)

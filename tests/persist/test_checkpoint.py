@@ -1,0 +1,321 @@
+"""Unit tests for the persist tier: codec, session export/import, checkpoint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import RollingWindowState, StreamingASAP
+from repro.persist import SCHEMA_VERSION, CheckpointError, checkpoint, restore
+from repro.persist import codec
+from repro.pyramid import Pyramid
+from repro.service import HubError, StreamConfig, StreamHub, UnknownStreamError
+from repro.stream.panes import PaneBuffer
+
+
+def make_wave(n, seed=0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    return offset + np.sin(2 * np.pi * t / 90) + 0.25 * rng.normal(size=n)
+
+
+# -- codec ---------------------------------------------------------------------
+
+
+def test_codec_round_trips_nested_state():
+    state = {
+        "ints": 7,
+        "floats": 0.1 + 0.2,
+        "negzero": -0.0,
+        "nan": float("nan"),
+        "inf": float("inf"),
+        "none": None,
+        "flag": True,
+        "text": "naïve",
+        "list": [1, [2.5, None], {"k": "v"}],
+        "array": np.arange(5, dtype=np.float64),
+        "ints64": np.arange(3, dtype=np.int64),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+    kind, loaded = codec.loads(codec.dumps("unit", state))
+    assert kind == "unit"
+    assert loaded["ints"] == 7
+    assert loaded["floats"] == 0.1 + 0.2  # bit-exact through JSON shortest repr
+    assert str(loaded["negzero"]) == "-0.0"
+    assert np.isnan(loaded["nan"]) and loaded["inf"] == float("inf")
+    assert loaded["none"] is None and loaded["flag"] is True
+    assert loaded["text"] == "naïve"
+    assert loaded["list"] == [1, [2.5, None], {"k": "v"}]
+    assert np.array_equal(loaded["array"], state["array"])
+    assert loaded["ints64"].dtype == np.int64
+    assert loaded["empty"].size == 0
+
+
+def test_codec_rejects_unserializable_state():
+    with pytest.raises(CheckpointError, match="unserializable type"):
+        codec.dumps("unit", {"bad": object()})
+
+
+def test_codec_rejects_reserved_key():
+    with pytest.raises(CheckpointError, match="reserved key"):
+        codec.dumps("unit", {"__npz__": 1})
+
+
+def test_codec_rejects_garbage_payload():
+    with pytest.raises(CheckpointError, match="malformed"):
+        codec.loads(b"not a checkpoint at all")
+
+
+def test_codec_rejects_foreign_schema_version(monkeypatch):
+    payload = codec.dumps("unit", {"x": 1})
+    monkeypatch.setattr(codec, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+    with pytest.raises(CheckpointError, match="schema version"):
+        codec.loads(payload)
+
+
+def test_codec_dump_load_path(tmp_path):
+    path = codec.dump("unit", {"a": np.ones(3)}, tmp_path / "state.npz")
+    kind, state = codec.load(path)
+    assert kind == "unit"
+    assert np.array_equal(state["a"], np.ones(3))
+
+
+# -- component state round trips ----------------------------------------------
+
+
+@pytest.mark.parametrize("keep_sketches", [True, False])
+def test_pane_buffer_state_round_trip(keep_sketches):
+    buffer = PaneBuffer(pane_size=4, capacity=16, journal=True, keep_sketches=keep_sketches)
+    values = make_wave(103)
+    ts = np.arange(103, dtype=np.float64)
+    buffer.extend(ts[:50], values[:50])
+    buffer.drain_completed()  # leave a partially drained journal behind
+    buffer.extend(ts[50:103], values[50:103])  # open pane: 103 % 4 = 3 points
+
+    clone = PaneBuffer.from_state(buffer.state_dict())
+    assert np.array_equal(clone.aggregated_values(), buffer.aggregated_values())
+    assert np.array_equal(clone.aggregated_timestamps(), buffer.aggregated_timestamps())
+    assert clone.total_points == buffer.total_points
+    assert clone.evicted_panes == buffer.evicted_panes
+    assert clone.open_pane_points == buffer.open_pane_points == 3
+    if keep_sketches:
+        a, b = buffer.window_sketch(), clone.window_sketch()
+        assert (a.count, a.mean, a.m2, a.m3, a.m4) == (b.count, b.mean, b.m2, b.m3, b.m4)
+
+    # Identical behavior from here on: same completions and journal entries.
+    more = make_wave(37, seed=5)
+    more_ts = ts[-1] + 1 + np.arange(37, dtype=np.float64)
+    assert buffer.extend(more_ts, more) == clone.extend(more_ts, more)
+    a_means, a_times = buffer.drain_completed()
+    b_means, b_times = clone.drain_completed()
+    assert np.array_equal(a_means, b_means) and np.array_equal(a_times, b_times)
+    assert np.array_equal(clone.aggregated_values(), buffer.aggregated_values())
+
+
+def test_rolling_window_state_round_trip():
+    rolling = RollingWindowState(capacity=64, lag_budget=20)
+    rolling.extend(make_wave(200, offset=3.0))
+    clone = RollingWindowState.from_state(rolling.state_dict())
+    assert np.array_equal(clone.values(), rolling.values())
+    assert clone.kurtosis() == rolling.kurtosis()
+    assert clone.roughness() == rolling.roughness()
+    assert np.array_equal(clone.correlations(20), rolling.correlations(20))
+    # The add/subtract chains continue from identical floats.
+    extra = make_wave(90, seed=9, offset=3.0)
+    rolling.extend(extra)
+    clone.extend(extra)
+    assert clone.kurtosis() == rolling.kurtosis()
+    assert np.array_equal(clone.correlations(20), rolling.correlations(20))
+
+
+def test_pyramid_state_round_trip():
+    pyramid = Pyramid(capacity=128, level_ratios=(1, 4, 16))
+    pyramid.extend(make_wave(500))
+    clone = Pyramid.from_state(pyramid.state_dict())
+    assert clone.total_appended == pyramid.total_appended
+    for ratio in pyramid.level_ratios:
+        assert np.array_equal(clone.level(ratio).values(), pyramid.level(ratio).values())
+        assert clone.level(ratio).partial_values == pyramid.level(ratio).partial_values
+    extra = make_wave(77, seed=3)
+    pyramid.extend(extra)
+    clone.extend(extra)
+    clone.verify_levels()
+    for ratio in pyramid.level_ratios:
+        assert np.array_equal(clone.level(ratio).values(), pyramid.level(ratio).values())
+    view_a, view_b = pyramid.view(40), clone.view(40)
+    assert np.array_equal(view_a.values, view_b.values)
+
+
+@pytest.mark.parametrize("incremental", [False, True])
+@pytest.mark.parametrize("pyramid", [False, True])
+def test_streaming_operator_resumes_bit_identically(incremental, pyramid):
+    values = make_wave(3000, seed=11)
+    ts = np.arange(3000, dtype=np.float64)
+
+    def build():
+        return StreamingASAP(
+            pane_size=3,
+            resolution=256,
+            refresh_interval=7,
+            incremental=incremental,
+            pyramid=pyramid,
+        )
+
+    baseline = build()
+    reference = list(baseline.push_many(ts, values))
+
+    interrupted = build()
+    split = 1357  # mid-pane, mid-refresh-interval
+    frames = list(interrupted.push_many(ts[:split], values[:split]))
+    clone = StreamingASAP.from_state(interrupted.state_dict())
+    assert clone.points_ingested == interrupted.points_ingested
+    frames += list(clone.push_many(ts[split:], values[split:]))
+
+    assert len(frames) == len(reference)
+    for a, b in zip(reference, frames):
+        assert a.window == b.window
+        assert np.array_equal(a.series.values, b.series.values)
+        assert a.search.roughness == b.search.roughness
+        assert a.search.kurtosis == b.search.kurtosis
+
+
+# -- hub session export/import -------------------------------------------------
+
+
+def hub_with_stream(**config_overrides):
+    hub = StreamHub(default_config=StreamConfig(pane_size=2, resolution=64, refresh_interval=5))
+    sid = hub.create_stream("s", **config_overrides)
+    values = make_wave(600)
+    hub.ingest(sid, np.arange(600, dtype=np.float64), values)
+    hub.tick()
+    return hub, sid
+
+
+def test_export_import_moves_session_between_hubs():
+    hub, sid = hub_with_stream()
+    other = StreamHub()
+    state = hub.export_session(sid, remove=True)
+    assert sid not in hub
+    assert hub.stats.sessions_exported == 1
+    assert other.import_session(state) == sid
+    assert other.stats.sessions_imported == 1
+    # The moved session keeps serving: same window after the same new data.
+    more = make_wave(120, seed=2)
+    ts = 600 + np.arange(120, dtype=np.float64)
+    other.ingest(sid, ts, more)
+    frames = other.tick().get(sid, [])
+    assert frames, "imported session should refresh on schedule"
+
+
+def test_export_without_remove_keeps_serving():
+    hub, sid = hub_with_stream()
+    state = hub.export_session(sid)
+    assert sid in hub
+    assert hub.stats.sessions_exported == 0
+    assert state["stream_id"] == sid
+
+
+def test_import_rejects_duplicate_and_over_budget():
+    hub, sid = hub_with_stream()
+    state = hub.export_session(sid)
+    with pytest.raises(HubError, match="already exists"):
+        hub.import_session(state)
+    tiny = StreamHub(max_panes_per_session=8)
+    with pytest.raises(HubError, match="max_panes_per_session"):
+        tiny.import_session(state)
+
+
+def test_import_under_rename():
+    hub, sid = hub_with_stream()
+    state = hub.export_session(sid)
+    assert hub.import_session(state, stream_id="renamed") == "renamed"
+    assert "renamed" in hub
+
+
+def test_export_unknown_stream():
+    hub, _sid = hub_with_stream()
+    with pytest.raises(UnknownStreamError):
+        hub.export_session("ghost")
+    with pytest.raises(UnknownStreamError):
+        hub.export_session("ghost", remove=True)
+
+
+# -- whole-hub checkpoint/restore ----------------------------------------------
+
+
+def test_checkpoint_restore_round_trip_bytes_and_path(tmp_path):
+    hub, sid = hub_with_stream()
+    blob = checkpoint(hub)
+    assert isinstance(blob, bytes)
+    path = checkpoint(hub, tmp_path / "hub.npz")
+    assert path.exists()
+
+    for source in (blob, path):
+        restored = restore(source)
+        assert isinstance(restored, StreamHub)
+        assert restored.stream_ids() == hub.stream_ids()
+        assert restored.snapshot(sid).panes == hub.snapshot(sid).panes
+        assert restored.stats.points_ingested == hub.stats.points_ingested
+
+
+def test_restored_hub_emits_bit_identical_frames():
+    values = make_wave(2000, seed=4)
+    ts = np.arange(2000, dtype=np.float64)
+    config = StreamConfig(pane_size=4, resolution=128, refresh_interval=6)
+
+    def drive(hub, lo, hi):
+        collected = []
+        for start in range(lo, hi, 90):
+            stop = min(start + 90, hi)
+            collected.extend(hub.ingest("s", ts[start:stop], values[start:stop]))
+            collected.extend(hub.tick().get("s", []))
+        return collected
+
+    uninterrupted = StreamHub(default_config=config)
+    uninterrupted.create_stream("s")
+    reference = drive(uninterrupted, 0, 2000)
+
+    hub = StreamHub(default_config=config)
+    hub.create_stream("s")
+    frames = drive(hub, 0, 1170)
+    restored = restore(checkpoint(hub))
+    frames += drive(restored, 1170, 2000)
+
+    assert len(frames) == len(reference)
+    for a, b in zip(reference, frames):
+        assert a.window == b.window
+        assert np.array_equal(a.series.values, b.series.values)
+
+
+def test_restored_hub_preserves_auto_id_sequence():
+    hub = StreamHub()
+    first = hub.create_stream()
+    restored = restore(checkpoint(hub))
+    second = restored.create_stream()
+    assert second != first
+
+
+def test_restored_hub_serves_pyramid_views():
+    hub, sid = hub_with_stream()
+    restored = restore(checkpoint(hub))
+    original = hub.snapshot(sid, resolution=16)
+    again = restored.snapshot(sid, resolution=16)
+    assert original.window == again.window
+    assert np.array_equal(original.series.values, again.series.values)
+
+
+def test_checkpoint_requires_protocol():
+    with pytest.raises(CheckpointError, match="not checkpointable"):
+        checkpoint(object())
+
+
+def test_restore_rejects_unknown_kind():
+    payload = codec.dumps("mystery", {"x": 1})
+    with pytest.raises(CheckpointError, match="unknown checkpoint kind"):
+        restore(payload)
+
+
+def test_restore_streamhub_rejects_options():
+    hub, _sid = hub_with_stream()
+    with pytest.raises(CheckpointError, match="no restore options"):
+        restore(checkpoint(hub), backend="inprocess")

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+import pytest
 
 from repro.timeseries import TimeSeries, read_csv, read_jsonl, write_csv, write_jsonl
 
@@ -63,3 +66,132 @@ def test_csv_precision_preserved(tmp_path):
     path = tmp_path / "precise.csv"
     write_csv(series, path)
     assert read_csv(path).values[0] == value
+
+
+# -- precision: the repr-write / float-read asymmetry round-trips exactly ------
+
+#: Adjacent float64 epoch timestamps: the second is the first's successor, so
+#: any precision loss in write or read collapses them and breaks the series'
+#: strictly-increasing invariant.
+_EPOCH = 1_690_000_000.123456
+_EPOCH_TIMESTAMPS = [_EPOCH, np.nextafter(_EPOCH, np.inf), _EPOCH + 1e-3]
+
+#: Values spanning the exponent range, including a subnormal and a value
+#: whose shortest repr needs all 17 significant digits.
+_EXTREME_VALUES = [5e-324, -1.7976931348623157e308, 0.1 + 0.2, 1.0, -2.5e-17]
+
+
+def test_csv_float_precision_timestamps_round_trip(tmp_path):
+    series = TimeSeries([1.0, 2.0, 3.0], timestamps=_EPOCH_TIMESTAMPS, name="t")
+    path = tmp_path / "epoch.csv"
+    write_csv(series, path)
+    loaded = read_csv(path, name="t")
+    assert np.array_equal(loaded.timestamps, series.timestamps)  # bit-exact
+    assert loaded == series
+
+
+def test_jsonl_float_precision_timestamps_round_trip(tmp_path):
+    series = TimeSeries([1.0, 2.0, 3.0], timestamps=_EPOCH_TIMESTAMPS, name="t")
+    path = tmp_path / "epoch.jsonl"
+    write_jsonl(series, path)
+    loaded = read_jsonl(path, name="t")
+    assert np.array_equal(loaded.timestamps, series.timestamps)
+    assert loaded == series
+
+
+@pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+def test_extreme_values_round_trip(tmp_path, fmt):
+    series = TimeSeries(_EXTREME_VALUES, name="x")
+    path = tmp_path / f"extreme.{fmt}"
+    if fmt == "csv":
+        write_csv(series, path)
+        loaded = read_csv(path, name="x")
+    else:
+        write_jsonl(series, path)
+        loaded = read_jsonl(path, name="x")
+    assert np.array_equal(loaded.values, series.values)  # bit-exact
+
+
+@pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+def test_infinite_timestamp_round_trips(tmp_path, fmt):
+    # +inf is a legal *final* timestamp (strictly increasing holds); both
+    # writers emit it losslessly ('inf' via repr, 'Infinity' via json).
+    series = TimeSeries([1.0, 2.0], timestamps=[0.0, math.inf])
+    path = tmp_path / f"inf.{fmt}"
+    if fmt == "csv":
+        write_csv(series, path)
+        loaded = read_csv(path)
+    else:
+        write_jsonl(series, path)
+        loaded = read_jsonl(path)
+    assert loaded.timestamps[-1] == math.inf
+    assert np.array_equal(loaded.values, series.values)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "nan,1.0\n0.0,nan\n",  # CSV parses NaN fine; the container rejects it
+        "0.0,inf\n",
+    ],
+)
+def test_csv_non_finite_values_rejected_by_container(tmp_path, text):
+    path = tmp_path / "bad.csv"
+    path.write_text("t,v\n" + text)
+    with pytest.raises(ValueError, match="finite"):
+        read_csv(path)
+
+
+def test_jsonl_non_finite_values_rejected_by_container(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 0, "v": NaN}\n')
+    with pytest.raises(ValueError, match="finite"):
+        read_jsonl(path)
+
+
+# -- malformed JSONL rows fail with the file and 1-based line number -----------
+
+
+def test_jsonl_invalid_json_names_line(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"t": 0, "v": 1.0}\n\n{"t": 1, "v":\n')
+    with pytest.raises(ValueError, match=r"broken\.jsonl:3: invalid JSON"):
+        read_jsonl(path)
+
+
+def test_jsonl_missing_field_names_line_and_field(tmp_path):
+    path = tmp_path / "gappy.jsonl"
+    path.write_text('{"t": 0, "v": 1.0}\n{"t": 1}\n')
+    with pytest.raises(ValueError, match=r"gappy\.jsonl:2: .*'v' field"):
+        read_jsonl(path)
+
+
+def test_jsonl_non_object_row_names_line(tmp_path):
+    path = tmp_path / "list.jsonl"
+    path.write_text("[0, 1.0]\n")
+    with pytest.raises(ValueError, match=r"list\.jsonl:1: expected an object"):
+        read_jsonl(path)
+
+
+def test_jsonl_non_numeric_field_names_line(tmp_path):
+    path = tmp_path / "words.jsonl"
+    path.write_text('{"t": 0, "v": 1.0}\n{"t": "noon", "v": 2.0}\n')
+    with pytest.raises(ValueError, match=r"words\.jsonl:2: non-numeric"):
+        read_jsonl(path)
+
+
+def test_jsonl_null_field_names_line(tmp_path):
+    path = tmp_path / "nulls.jsonl"
+    path.write_text('{"t": 0, "v": null}\n')
+    with pytest.raises(ValueError, match=r"nulls\.jsonl:1: non-numeric"):
+        read_jsonl(path)
+
+
+@pytest.mark.parametrize("row", ['{"t": true, "v": 1.0}', '{"t": 1, "v": "2.5"}'])
+def test_jsonl_coercible_but_non_numeric_types_rejected(tmp_path, row):
+    # float() would accept these (True -> 1.0, "2.5" -> 2.5); the reader
+    # must not — they are producer type bugs, not numbers.
+    path = tmp_path / "typed.jsonl"
+    path.write_text(row + "\n")
+    with pytest.raises(ValueError, match=r"typed\.jsonl:1: non-numeric"):
+        read_jsonl(path)
