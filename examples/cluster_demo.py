@@ -13,6 +13,12 @@ The story in five acts:
    surviving shards;
 5. keep serving every stream, and show a restored stream's snapshot.
 
+This demo drives the cluster tier directly because it exercises the
+cluster-only operations (shard membership, crash recovery).  Programs that
+only need the serving lifecycle should use :func:`repro.connect`
+(``backend="sharded"``) — and can still reach these operations through
+``client.hub``.
+
 Run::
 
     PYTHONPATH=src python examples/cluster_demo.py
@@ -25,8 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import AsapSpec
 from repro.cluster import ShardDownError, ShardedHub
-from repro.service import StreamConfig
 
 N_SHARDS = 4
 N_STREAMS = 12
@@ -43,7 +49,10 @@ def main() -> None:
         np.sin(2 * np.pi * ts / rng.integers(60, 200)) + 0.3 * rng.normal(size=length)
         for _ in range(N_STREAMS)
     ]
-    config = StreamConfig(pane_size=4, resolution=200, refresh_interval=10)
+    # The unified spec configures the cluster exactly as it does smooth()
+    # and the hub tier; it crosses the coordinator->shard IPC boundary as a
+    # plain dict and travels inside the checkpoint unchanged.
+    config = AsapSpec(pane_size=4, resolution=200, refresh_interval=10)
 
     print(f"1) starting {N_SHARDS} process shards, {N_STREAMS} streams")
     hub = ShardedHub(shards=N_SHARDS, backend="process", default_config=config)

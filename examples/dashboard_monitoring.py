@@ -9,7 +9,7 @@ human refresh timescale, and each emitted frame is ready to draw.
 Run:  python examples/dashboard_monitoring.py
 """
 
-from repro import StreamingASAP
+from repro import AsapSpec
 from repro.stream import ReplaySource, run_stream
 from repro.timeseries import load, zscore
 from repro.vis import side_by_side
@@ -21,11 +21,13 @@ telemetry = load("cpu_util")
 n = len(telemetry.series)
 pane_size = max(n // RESOLUTION, 1)
 
-operator = StreamingASAP(
+# The unified spec configures the streaming operator exactly as it does
+# smooth() and the serving tiers (see examples/tier_escalation.py).
+operator = AsapSpec(
     pane_size=pane_size,
     resolution=RESOLUTION,
     refresh_interval=REFRESH_EVERY,
-)
+).build_operator()
 
 print(f"Streaming {n} CPU readings (pane={pane_size} pts, "
       f"refresh every {REFRESH_EVERY} aggregated pts)...\n")

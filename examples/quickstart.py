@@ -7,7 +7,7 @@ makes obvious.
 Run:  python examples/quickstart.py
 """
 
-from repro import smooth
+import repro
 from repro.timeseries import load, zscore
 from repro.vis import side_by_side
 
@@ -15,7 +15,11 @@ from repro.vis import side_by_side
 taxi = load("taxi")
 
 # 2. Smooth it for an 800-pixel-wide plot. ASAP picks the window itself.
-result = smooth(taxi.series, resolution=800)
+#    connect("local") runs in-process; the same client API scales to a
+#    multi-tenant hub or a sharded cluster by changing that one argument
+#    (see examples/tier_escalation.py).
+client = repro.connect("local")
+result = client.smooth(taxi.series, resolution=800)
 
 # 3. Plot (terminal sparklines here; feed result.series to any charting lib).
 print("ASAP quickstart — NYC taxi passengers, 75 days")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.service import StreamConfig, StreamHub
+import repro
 from repro.vis.ascii_plot import sparkline
 
 SCRAPE_INTERVAL = 60  # points delivered per stream per round
@@ -47,14 +47,18 @@ def main() -> None:
     rng = np.random.default_rng(7)
     fleet = make_fleet(rng)
 
-    hub = StreamHub(
+    # One spec configures every session; connect("hub") opens the
+    # multi-tenant tier (swap the backend argument for "local" or "sharded"
+    # — the rest of this program is unchanged).
+    hub = repro.connect(
+        "hub",
+        repro.AsapSpec(pane_size=3, resolution=400, refresh_interval=20),
         max_sessions=16,
         max_panes_per_session=1024,
-        default_config=StreamConfig(pane_size=3, resolution=400, refresh_interval=20),
         idle_ticks_before_eviction=10,
     )
     for name in fleet:
-        hub.create_stream(name)
+        hub.stream(stream_id=name)
     print(f"created {len(hub)} streams: {', '.join(hub.stream_ids())}")
 
     timestamps = np.arange(SCRAPE_INTERVAL * ROUNDS, dtype=np.float64)
@@ -98,7 +102,7 @@ def main() -> None:
     )
 
     # Session lifecycle: close one stream and let another idle out.
-    final_frames = hub.close("net.errors")
+    final_frames = hub.close_stream("net.errors")
     print(f"closed net.errors (flushed {len(final_frames)} final frame(s))")
     for _ in range(12):  # nothing ingests; idle eviction reaps the rest
         hub.tick()

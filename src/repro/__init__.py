@@ -7,17 +7,32 @@ of first differences) while preserving kurtosis (so large-scale deviations
 stay visible), and does so fast via autocorrelation pruning, pixel-aware
 preaggregation, and on-demand streaming refresh.
 
-Quickstart::
+One spec, one client.  Every tier is configured by a single validated,
+JSON-round-trippable object (:class:`~repro.spec.AsapSpec`) and served
+through a single façade (:func:`~repro.client.connect`), so the same program
+scales from one in-process series to a multi-process sharded cluster by
+changing one argument::
 
-    from repro import smooth
-    from repro.timeseries import load
+    import repro
 
-    taxi = load("taxi")
-    result = smooth(taxi.series, resolution=800)
+    client = repro.connect("local")        # or "hub", or "sharded"
+    result = client.smooth(values, resolution=800)
     print(result.summary())
+
+    stream = client.stream(pane_size=4, refresh_interval=25)
+    stream.ingest(timestamps, values)
+    frames = stream.tick()
+    client.checkpoint("state.npz")         # durable; restores bit-identically
+
+The direct entry points (``smooth``, ``smooth_many``, ``StreamHub``,
+``ShardedHub``, ...) remain first-class — they are thin shims over the same
+spec-driven path and produce bit-identical results.
 
 Packages:
 
+* :mod:`repro.spec` — :class:`AsapSpec`, the one configuration object;
+* :mod:`repro.client` — :func:`connect` and the tier façade;
+* :mod:`repro.errors` — the consolidated exception surface;
 * :mod:`repro.core` — the ASAP operator (metrics, search, streaming);
 * :mod:`repro.engine` — the multi-series batch engine (``smooth_many``);
 * :mod:`repro.pyramid` — the multi-resolution rollup tier (``Pyramid``);
@@ -45,19 +60,24 @@ from .core import (
     find_window,
     smooth,
 )
+from .client import Client, StreamHandle, connect
 from .cluster import ShardedHub
 from .engine import BatchEngine, BatchResult, smooth_many
+from .errors import SpecError
 from .persist import checkpoint, restore
 from .pyramid import Pyramid, PyramidView, ViewSpec
 from .service import StreamConfig, StreamHub
+from .spec import AsapSpec
 from .timeseries import TimeSeries
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ASAP",
+    "AsapSpec",
     "BatchEngine",
     "BatchResult",
+    "Client",
     "DEFAULT_RESOLUTION",
     "Frame",
     "Pyramid",
@@ -65,12 +85,15 @@ __all__ = [
     "SearchResult",
     "ShardedHub",
     "SmoothingResult",
+    "SpecError",
     "StreamConfig",
+    "StreamHandle",
     "StreamHub",
     "StreamingASAP",
     "TimeSeries",
     "ViewSpec",
     "checkpoint",
+    "connect",
     "find_window",
     "restore",
     "smooth",

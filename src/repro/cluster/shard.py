@@ -29,7 +29,14 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 
+from ..errors import (
+    ClusterError,
+    RemoteShardError,
+    ShardDownError,
+    ShardProtocolError,
+)
 from ..service import StreamHub, UnknownStreamError
+from ..spec import AsapSpec
 
 __all__ = [
     "ClusterError",
@@ -41,36 +48,20 @@ __all__ = [
 ]
 
 
-class ClusterError(RuntimeError):
-    """Base class for cluster-tier failures."""
+def _build_hub(hub_kwargs: dict, hub_state) -> StreamHub:
+    """One shard's hub, from wire-format kwargs or a checkpointed state.
 
-
-class ShardDownError(ClusterError):
-    """A shard worker is not answering (crashed, killed, or shut down).
-
-    ``shard_ids`` names the dead shard(s); ``partial_frames`` carries frames
-    already collected from healthy shards when a fan-out operation failed
-    part-way, so a recovering caller loses as little as possible.
+    ``hub_kwargs`` is the coordinator's wire form: its ``default_config`` is
+    a plain spec dict (or ``None``), exactly as the persist codec carries it,
+    so the config schema has one spelling whether a spec arrives at a shard
+    through construction, a ``create`` command, or a checkpoint.
     """
-
-    def __init__(self, shard_ids, partial_frames=None) -> None:
-        if isinstance(shard_ids, str):
-            shard_ids = (shard_ids,)
-        self.shard_ids = tuple(shard_ids)
-        self.partial_frames = dict(partial_frames or {})
-        super().__init__(f"shard(s) down: {', '.join(self.shard_ids)}")
-
-
-class ShardProtocolError(ClusterError):
-    """A shard was sent a command it does not understand."""
-
-
-class RemoteShardError(ClusterError):
-    """A shard worker failed in a way its hub did not anticipate.
-
-    Wraps non-hub exceptions (bugs, not API errors) with the worker-side
-    traceback, which would otherwise be lost at the pipe boundary.
-    """
+    if hub_state is not None:
+        return StreamHub.from_state(hub_state)
+    kwargs = dict(hub_kwargs)
+    if kwargs.get("default_config") is not None:
+        kwargs["default_config"] = AsapSpec.from_dict(kwargs["default_config"])
+    return StreamHub(**kwargs)
 
 
 def _dispatch(hub: StreamHub, command: str, payload):
@@ -97,7 +88,10 @@ def _dispatch(hub: StreamHub, command: str, payload):
     if command == "tick":
         return hub.tick()
     if command == "create":
-        stream_id, config, overrides = payload
+        stream_id, config_state, overrides = payload
+        # Specs cross the IPC boundary as plain dicts (the codec's spelling);
+        # they rebuild — and revalidate — at the shard.
+        config = None if config_state is None else AsapSpec.from_dict(config_state)
         return hub.create_stream(stream_id, config, **overrides)
     if command == "snapshot":
         stream_id, resolution, include_partial = payload
@@ -127,7 +121,7 @@ def _worker_main(connection, hub_kwargs: dict, hub_state) -> None:  # pragma: no
     Exercised end to end by the process-backend tests, but in *child*
     processes, where the coverage tracer does not run — hence the pragma.
     """
-    hub = StreamHub.from_state(hub_state) if hub_state is not None else StreamHub(**hub_kwargs)
+    hub = _build_hub(hub_kwargs, hub_state)
     while True:
         try:
             command, payload = connection.recv()
@@ -160,9 +154,7 @@ class InProcessShard:
 
     def __init__(self, shard_id: str, hub_kwargs: dict, hub_state=None) -> None:
         self.shard_id = shard_id
-        self.hub = (
-            StreamHub.from_state(hub_state) if hub_state is not None else StreamHub(**hub_kwargs)
-        )
+        self.hub = _build_hub(hub_kwargs, hub_state)
         self._reply = None
         self._dead = False
 

@@ -112,10 +112,13 @@ class ShardedHub:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {sorted(_BACKENDS)}, got {backend!r}")
         self.backend = backend
+        # The wire form: default_config travels as a plain spec dict (the
+        # codec's spelling) so shard construction, create commands, and
+        # checkpoints all carry configs the same way.
         self._hub_kwargs = dict(
             max_sessions=max_sessions_per_shard,
             max_panes_per_session=max_panes_per_session,
-            default_config=default_config,
+            default_config=None if default_config is None else default_config.to_dict(),
             eviction_policy=eviction_policy,
             idle_ticks_before_eviction=idle_ticks_before_eviction,
         )
@@ -139,6 +142,17 @@ class ShardedHub:
             self.add_shard()
 
     # -- shard membership ------------------------------------------------------
+
+    @property
+    def default_config(self) -> StreamConfig | None:
+        """The cluster-wide default session spec (``None`` = shard default).
+
+        Mirrors :attr:`StreamHub.default_config` so callers (e.g. the client
+        façade's ``restore``) need not know the coordinator keeps configs in
+        wire form internally.
+        """
+        wire = self._hub_kwargs["default_config"]
+        return None if wire is None else StreamConfig.from_dict(wire)
 
     @property
     def shard_ids(self) -> list[str]:
@@ -302,10 +316,11 @@ class ShardedHub:
         elif stream_id in self._streams:
             raise ClusterError(f"stream id {stream_id!r} already exists")
         if config is not None and overrides:
-            config = dataclasses.replace(config, **overrides)
+            config = config.merge(**overrides)
             overrides = {}
         owner = self._ring.node_for(stream_id)
-        self._shards[owner].request("create", (stream_id, config, overrides))
+        config_state = None if config is None else config.to_dict()
+        self._shards[owner].request("create", (stream_id, config_state, overrides))
         self._streams[stream_id] = owner
         return stream_id
 
@@ -504,7 +519,6 @@ class ShardedHub:
         surfaces them — a checkpoint between ticks loses neither queued
         points nor queued frames.
         """
-        default_config = self._hub_kwargs["default_config"]
         shard_states = self._fan_out("state", None)
         return {
             "backend": self.backend,
@@ -512,9 +526,8 @@ class ShardedHub:
             "hub_kwargs": {
                 "max_sessions": self._hub_kwargs["max_sessions"],
                 "max_panes_per_session": self._hub_kwargs["max_panes_per_session"],
-                "default_config": (
-                    None if default_config is None else dataclasses.asdict(default_config)
-                ),
+                # Already the wire form (a plain spec dict or None).
+                "default_config": self._hub_kwargs["default_config"],
                 "eviction_policy": self._hub_kwargs["eviction_policy"],
                 "idle_ticks_before_eviction": self._hub_kwargs["idle_ticks_before_eviction"],
             },
@@ -553,10 +566,11 @@ class ShardedHub:
         hub._hub_kwargs = dict(
             max_sessions=int(kwargs["max_sessions"]),
             max_panes_per_session=int(kwargs["max_panes_per_session"]),
+            # Validate the checkpointed config, then keep the wire form.
             default_config=(
                 None
                 if kwargs["default_config"] is None
-                else StreamConfig(**kwargs["default_config"])
+                else StreamConfig.from_dict(kwargs["default_config"]).to_dict()
             ),
             eviction_policy=str(kwargs["eviction_policy"]),
             idle_ticks_before_eviction=(

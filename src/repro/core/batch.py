@@ -8,6 +8,13 @@ Given a series and a target resolution, :func:`smooth`:
 3. applies the simple moving average and returns a
    :class:`~repro.core.result.SmoothingResult`.
 
+Configuration flows through one object: every call builds (or is handed) an
+:class:`~repro.spec.AsapSpec`, so the knob spelling, validation, and defaults
+are identical across ``smooth``, ``find_window``, the reusable :class:`ASAP`
+operator, the batch engine, and the serving tiers — invalid knobs raise
+:class:`~repro.errors.SpecError` (a ``ValueError``) naming the field.  The
+kwarg signatures remain as shims that delegate to the spec path.
+
 :class:`ASAP` wraps the same pipeline as a configured, reusable object.  For
 smoothing *many* series per refresh — the dashboard workload — see
 :func:`repro.engine.smooth_many`, which drives this exact pipeline with
@@ -19,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..spec import DEFAULT_RESOLUTION, AsapSpec, resolve_spec, spec_backed
 from ..timeseries.series import TimeSeries
 from .acf import ACFAnalysis
 from .preaggregation import expected_ratio, prepare_search_input
@@ -27,9 +35,6 @@ from .search import SearchResult, run_strategy
 from .smoothing import EvaluationCache, sma
 
 __all__ = ["smooth", "find_window", "ASAP", "DEFAULT_RESOLUTION"]
-
-#: The paper's user-study rendering width; a sensible dashboard default.
-DEFAULT_RESOLUTION = 800
 
 
 def _coerce_series(data) -> TimeSeries:
@@ -40,10 +45,8 @@ def _coerce_series(data) -> TimeSeries:
 
 def _prepare(
     series: TimeSeries,
-    resolution: int,
-    use_preaggregation: bool,
+    spec: AsapSpec,
     cache: EvaluationCache | None,
-    kernel: str,
 ) -> tuple[np.ndarray, int, EvaluationCache]:
     """The search input: (aggregated values, point-to-pixel ratio, cache).
 
@@ -57,7 +60,7 @@ def _prepare(
     tests pin the values themselves.
     """
     if cache is not None:
-        ratio = expected_ratio(len(series), resolution, use_preaggregation)
+        ratio = expected_ratio(len(series), spec.resolution, spec.use_preaggregation)
         expected_size = len(series) // ratio if ratio > 1 else len(series)
         if cache.values.size != expected_size:
             raise ValueError(
@@ -66,42 +69,53 @@ def _prepare(
                 "values the pipeline produces"
             )
         return cache.values, ratio, cache
-    staged = prepare_search_input(series.values, resolution, use_preaggregation)
-    return staged.values, staged.ratio, EvaluationCache(staged.values, kernel=kernel)
+    staged = prepare_search_input(series.values, spec.resolution, spec.use_preaggregation)
+    return staged.values, staged.ratio, EvaluationCache(staged.values, kernel=spec.kernel)
 
 
 def find_window(
     data,
-    resolution: int = DEFAULT_RESOLUTION,
+    resolution: int | None = None,
     max_window: int | None = None,
-    strategy: str = "asap",
-    use_preaggregation: bool = True,
+    strategy: str | None = None,
+    use_preaggregation: bool | None = None,
     *,
     cache: EvaluationCache | None = None,
     acf: ACFAnalysis | None = None,
-    kernel: str = "grid",
+    kernel: str | None = None,
+    spec: AsapSpec | None = None,
 ) -> tuple[SearchResult, int]:
     """Search for the best window without producing the smoothed series.
 
     Returns ``(search_result, preaggregation_ratio)``; the window in the
-    result is in aggregated units.
+    result is in aggregated units.  Configuration resolves exactly as in
+    :func:`smooth`.
     """
+    spec = resolve_spec(
+        spec,
+        resolution=resolution,
+        max_window=max_window,
+        strategy=strategy,
+        use_preaggregation=use_preaggregation,
+        kernel=kernel,
+    )
     series = _coerce_series(data)
-    values, ratio, cache = _prepare(series, resolution, use_preaggregation, cache, kernel)
-    result = run_strategy(strategy, values, max_window, cache=cache, acf=acf)
+    values, ratio, cache = _prepare(series, spec, cache)
+    result = run_strategy(spec.strategy, values, spec.max_window, cache=cache, acf=acf)
     return result, ratio
 
 
 def smooth(
     data,
-    resolution: int = DEFAULT_RESOLUTION,
+    resolution: int | None = None,
     max_window: int | None = None,
-    strategy: str = "asap",
-    use_preaggregation: bool = True,
+    strategy: str | None = None,
+    use_preaggregation: bool | None = None,
     *,
     cache: EvaluationCache | None = None,
     acf: ACFAnalysis | None = None,
-    kernel: str = "grid",
+    kernel: str | None = None,
+    spec: AsapSpec | None = None,
 ) -> SmoothingResult:
     """Automatically smooth a time series for visualization.
 
@@ -111,7 +125,7 @@ def smooth(
         A :class:`~repro.timeseries.TimeSeries` or 1-D array-like.
     resolution:
         Target display width in pixels; drives preaggregation and the final
-        point budget.
+        point budget.  Defaults to the spec's (800).
     max_window:
         Optional cap on candidate windows (aggregated units).  Defaults to
         one tenth of the searched series, the paper's setting.
@@ -132,6 +146,14 @@ def smooth(
     kernel:
         Candidate-evaluation kernel: ``"grid"`` (vectorized, default) or
         ``"scalar"`` (the reference loop, kept for benchmarking).
+    spec:
+        An :class:`~repro.spec.AsapSpec` carrying the configuration whole.
+        Explicit kwargs override the spec field-by-field
+        (``smooth(x, strategy="grid2", spec=s)`` runs
+        ``s.merge(strategy="grid2")``); with no spec the kwargs build one,
+        so both spellings validate identically.  ``None`` kwargs mean "not
+        provided" — to clear a spec's ``max_window`` cap, pass
+        ``spec=s.merge(max_window=None)``.
 
     Examples
     --------
@@ -141,12 +163,18 @@ def smooth(
     >>> result.window >= 1
     True
     """
-    series = _coerce_series(data)
-    searched_values, ratio, cache = _prepare(
-        series, resolution, use_preaggregation, cache, kernel
+    spec = resolve_spec(
+        spec,
+        resolution=resolution,
+        max_window=max_window,
+        strategy=strategy,
+        use_preaggregation=use_preaggregation,
+        kernel=kernel,
     )
+    series = _coerce_series(data)
+    searched_values, ratio, cache = _prepare(series, spec, cache)
 
-    search = run_strategy(strategy, searched_values, max_window, cache=cache, acf=acf)
+    search = run_strategy(spec.strategy, searched_values, spec.max_window, cache=cache, acf=acf)
 
     smoothed_values = sma(searched_values, search.window)
     n_buckets = searched_values.size
@@ -180,8 +208,15 @@ def smooth(
     )
 
 
+@spec_backed(*AsapSpec.OPERATOR_FIELDS)
 class ASAP:
     """A configured smoothing operator, reusable across series.
+
+    A thin, attribute-compatible wrapper around an
+    :class:`~repro.spec.AsapSpec`: every knob the functions take, the
+    operator takes (including ``kernel``), and per-call search state
+    (``cache``/``acf``) forwards through — the operator and the functions
+    accept exactly the same inputs and produce bit-identical results.
 
     >>> operator = ASAP(resolution=1200)
     >>> result = operator.smooth([1.0, 2.0, 1.0, 2.0] * 50)
@@ -191,41 +226,43 @@ class ASAP:
 
     def __init__(
         self,
-        resolution: int = DEFAULT_RESOLUTION,
+        resolution: int | None = None,
         max_window: int | None = None,
-        strategy: str = "asap",
-        use_preaggregation: bool = True,
+        strategy: str | None = None,
+        use_preaggregation: bool | None = None,
+        kernel: str | None = None,
+        spec: AsapSpec | None = None,
     ) -> None:
-        if resolution < 1:
-            raise ValueError(f"resolution must be >= 1, got {resolution}")
-        self.resolution = resolution
-        self.max_window = max_window
-        self.strategy = strategy
-        self.use_preaggregation = use_preaggregation
+        self.spec = resolve_spec(
+            spec,
+            resolution=resolution,
+            max_window=max_window,
+            strategy=strategy,
+            use_preaggregation=use_preaggregation,
+            kernel=kernel,
+        )
 
-    def smooth(self, data) -> SmoothingResult:
+    @classmethod
+    def from_spec(cls, spec: AsapSpec) -> "ASAP":
+        return cls(spec=spec)
+
+    # The knob attributes (resolution/max_window/strategy/use_preaggregation/
+    # kernel) are installed by @spec_backed: reads come from self.spec, and
+    # assignment — historically a plain attribute write — re-merges the spec,
+    # so `operator.resolution = 0` now raises SpecError instead of lingering.
+
+    def smooth(self, data, *, cache=None, acf=None) -> SmoothingResult:
         """Smooth one series with this operator's configuration."""
-        return smooth(
-            data,
-            resolution=self.resolution,
-            max_window=self.max_window,
-            strategy=self.strategy,
-            use_preaggregation=self.use_preaggregation,
-        )
+        return smooth(data, cache=cache, acf=acf, spec=self.spec)
 
-    def find_window(self, data) -> tuple[SearchResult, int]:
+    def find_window(self, data, *, cache=None, acf=None) -> tuple[SearchResult, int]:
         """Search only; see :func:`find_window`."""
-        return find_window(
-            data,
-            resolution=self.resolution,
-            max_window=self.max_window,
-            strategy=self.strategy,
-            use_preaggregation=self.use_preaggregation,
-        )
+        return find_window(data, cache=cache, acf=acf, spec=self.spec)
 
     def __repr__(self) -> str:
         return (
             f"ASAP(resolution={self.resolution}, strategy={self.strategy!r}, "
             f"max_window={self.max_window}, "
-            f"use_preaggregation={self.use_preaggregation})"
+            f"use_preaggregation={self.use_preaggregation}, "
+            f"kernel={self.kernel!r})"
         )

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import SpecError
+
 __all__ = [
     "PreaggregationResult",
     "point_to_pixel_ratio",
@@ -89,7 +91,7 @@ def point_to_pixel_ratio(n: int, resolution: int) -> int:
     if n < 0:
         raise ValueError(f"series length must be non-negative, got {n}")
     if resolution < 1:
-        raise ValueError(f"resolution must be >= 1, got {resolution}")
+        raise SpecError(f"resolution must be >= 1, got {resolution}")
     return max(n // resolution, 1)
 
 
@@ -137,7 +139,7 @@ def preaggregate(
         raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
     n = arr.size
     if resolution < 1:
-        raise ValueError(f"resolution must be >= 1, got {resolution}")
+        raise SpecError(f"resolution must be >= 1, got {resolution}")
     if n < MIN_OVERSAMPLING * resolution:
         return PreaggregationResult(values=arr.copy(), ratio=1, original_length=n)
     ratio = point_to_pixel_ratio(n, resolution)
@@ -184,6 +186,6 @@ def prepare_search_input(
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
         if resolution < 1:
-            raise ValueError(f"resolution must be >= 1, got {resolution}")
+            raise SpecError(f"resolution must be >= 1, got {resolution}")
         return PreaggregationResult(values=arr.copy(), ratio=1, original_length=arr.size)
     return preaggregate(values, resolution, include_partial=include_partial)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import SpecError
 from ..spectral.convolution import sma, sma_grid_moments, sma_window_moments, sma_with_slide
 from ..timeseries.series import TimeSeries
 from ..timeseries.stats import kurtosis, roughness
@@ -118,7 +119,7 @@ class EvaluationCache:
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
         if kernel not in ("grid", "scalar"):
-            raise ValueError(f"kernel must be 'grid' or 'scalar', got {kernel!r}")
+            raise SpecError(f"kernel must be 'grid' or 'scalar', got {kernel!r}")
         self.values = arr
         self.kernel = kernel
         self._evaluations: dict[int, WindowEvaluation] = {}

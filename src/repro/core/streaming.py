@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import IncrementalDriftError
 from ..pyramid.rollup import Pyramid
 from ..pyramid.view import PyramidView, ViewSpec
 from ..spectral.convolution import cross_product_sums
@@ -76,10 +77,6 @@ MIN_PANES_FOR_SEARCH = 8
 #: Agreement required between incremental and from-scratch statistics when
 #: ``verify_incremental`` is on: |incremental - exact| <= TOL * max(1, |exact|).
 INCREMENTAL_AGREEMENT_TOL = 1e-9
-
-
-class IncrementalDriftError(RuntimeError):
-    """Incremental statistics drifted beyond the 1e-9 agreement discipline."""
 
 
 #: Rebuild the rolling sums when cancellation threatens the 1e-9 discipline:
@@ -652,6 +649,31 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._refreshes_since_rebuild = 0
         self._full_recomputes = 0
         self._exact_fallbacks = 0
+
+    @classmethod
+    def from_spec(cls, spec) -> "StreamingASAP":
+        """Build an operator from an :class:`~repro.spec.AsapSpec`.
+
+        The one spec -> operator constructor, shared by the service tier's
+        sessions, the cluster tier, and the client façade (duck-typed on the
+        spec's streaming and serving fields, so this module needs no import
+        of the spec layer).  The spec's batch-only knobs
+        (``use_preaggregation``, ``kernel``) do not apply here: the streaming
+        path aggregates through ``pane_size``.
+        """
+        return cls(
+            pane_size=spec.pane_size,
+            resolution=spec.resolution,
+            refresh_interval=spec.refresh_interval,
+            strategy=spec.strategy,
+            max_window=spec.max_window,
+            seed_from_previous=spec.seed_from_previous,
+            incremental=spec.incremental,
+            recompute_every=spec.recompute_every,
+            verify_incremental=spec.verify_incremental,
+            keep_pane_sketches=spec.keep_pane_sketches,
+            pyramid=spec.pyramid,
+        )
 
     @staticmethod
     def _lag_budget(resolution: int, max_window: int | None) -> int:

@@ -43,7 +43,8 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from ..core.acf import ACFAnalysis
-from ..core.batch import DEFAULT_RESOLUTION, smooth
+from ..core.batch import smooth
+from ..spec import AsapSpec, resolve_spec, spec_backed
 from ..core.preaggregation import expected_ratio, prepare_search_input
 from ..core.result import SmoothingResult
 from ..core.search import resolve_max_window
@@ -237,14 +238,17 @@ def prefill_grid_caches(
     return caches
 
 
+@spec_backed(*AsapSpec.OPERATOR_FIELDS)
 class BatchEngine:
     """A configured multi-series smoothing engine, reusable across refreshes.
 
     Parameters
     ----------
-    resolution, max_window, strategy, use_preaggregation:
+    resolution, max_window, strategy, use_preaggregation, kernel, spec:
         Per-series pipeline configuration, exactly as
-        :func:`repro.core.batch.smooth` takes them.
+        :func:`repro.core.batch.smooth` takes it — kwargs build an
+        :class:`~repro.spec.AsapSpec` (or override one passed via ``spec=``),
+        so validation and defaults are identical to the single-series path.
     workers:
         Fan the per-series work across this many workers.  ``None``/``0``/
         ``1`` run serially.  Parallelism applies to the strategies the engine
@@ -263,29 +267,41 @@ class BatchEngine:
 
     def __init__(
         self,
-        resolution: int = DEFAULT_RESOLUTION,
+        resolution: int | None = None,
         max_window: int | None = None,
-        strategy: str = "asap",
-        use_preaggregation: bool = True,
+        strategy: str | None = None,
+        use_preaggregation: bool | None = None,
         workers: int | None = None,
         executor: str = "thread",
         acf_cache_size: int = 256,
-        kernel: str = "grid",
+        kernel: str | None = None,
+        spec: AsapSpec | None = None,
     ) -> None:
-        if resolution < 1:
-            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        self.spec = resolve_spec(
+            spec,
+            resolution=resolution,
+            max_window=max_window,
+            strategy=strategy,
+            use_preaggregation=use_preaggregation,
+            kernel=kernel,
+        )
         if executor not in ("thread", "process"):
             raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         if workers is not None and workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
-        self.resolution = resolution
-        self.max_window = max_window
-        self.strategy = strategy
-        self.use_preaggregation = use_preaggregation
         self.workers = workers
         self.executor = executor
-        self.kernel = kernel
         self.acf_cache = ACFCache(maxsize=acf_cache_size)
+
+    @classmethod
+    def from_spec(cls, spec: AsapSpec, **engine_options) -> "BatchEngine":
+        """An engine whose pipeline configuration is *spec*; engine-only
+        options (``workers``/``executor``/``acf_cache_size``) ride along."""
+        return cls(spec=spec, **engine_options)
+
+    # The knob attributes are installed by @spec_backed: reads come from
+    # self.spec, assignment re-merges (and validates).  Every call reads
+    # self.spec, so a mutated engine behaves like a freshly constructed one.
 
     # -- public API -------------------------------------------------------------
 
@@ -333,13 +349,7 @@ class BatchEngine:
         return self.workers if self.workers and self.workers > 1 else 1
 
     def _smooth_kwargs(self) -> dict:
-        return {
-            "resolution": self.resolution,
-            "max_window": self.max_window,
-            "strategy": self.strategy,
-            "use_preaggregation": self.use_preaggregation,
-            "kernel": self.kernel,
-        }
+        return {"spec": self.spec}
 
     def _try_fast_path(self, labels, items) -> tuple[list[SmoothingResult], int] | None:
         """Batched-kernel execution over ratio cohorts.
@@ -481,13 +491,14 @@ class BatchEngine:
 
 def smooth_many(
     batch,
-    resolution: int = DEFAULT_RESOLUTION,
+    resolution: int | None = None,
     max_window: int | None = None,
-    strategy: str = "asap",
-    use_preaggregation: bool = True,
+    strategy: str | None = None,
+    use_preaggregation: bool | None = None,
     workers: int | None = None,
     executor: str = "thread",
-    kernel: str = "grid",
+    kernel: str | None = None,
+    spec: AsapSpec | None = None,
 ) -> BatchResult:
     """Smooth a whole batch of series in one call.
 
@@ -517,5 +528,6 @@ def smooth_many(
         workers=workers,
         executor=executor,
         kernel=kernel,
+        spec=spec,
     )
     return engine.smooth_many(batch)

@@ -1,0 +1,106 @@
+"""repro.errors — the one import for every failure the library raises.
+
+Each tier historically defined its own exception types next to the code that
+raised them (service errors in ``repro.service.hub``, cluster errors in
+``repro.cluster.shard``, codec errors in ``repro.persist.codec``).  Those
+spellings all still work — the defining modules re-export from here — but the
+canonical home is this module, which depends on nothing, so any layer
+(including :mod:`repro.spec`, which every tier consumes) can raise and catch
+them without import cycles.
+
+Hierarchy::
+
+    ValueError
+      └── SpecError            — a configuration field failed validation
+    RuntimeError
+      ├── HubError             — StreamHub serving failures
+      │     ├── HubAtCapacityError
+      │     └── UnknownStreamError (also a KeyError)
+      ├── ClusterError         — sharded-tier failures
+      │     ├── ShardDownError
+      │     ├── ShardProtocolError
+      │     └── RemoteShardError
+      ├── CheckpointError      — persist-layer payload failures
+      └── IncrementalDriftError — incremental statistics broke the 1e-9 law
+
+``SpecError`` subclasses :class:`ValueError` deliberately: the core pipeline
+raised bare ``ValueError`` for bad resolution/strategy/kernel for four
+releases, and ``except ValueError`` call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SpecError",
+    "HubError",
+    "HubAtCapacityError",
+    "UnknownStreamError",
+    "ClusterError",
+    "ShardDownError",
+    "ShardProtocolError",
+    "RemoteShardError",
+    "CheckpointError",
+    "IncrementalDriftError",
+]
+
+
+class SpecError(ValueError):
+    """A configuration field failed validation.
+
+    Raised by :class:`repro.spec.AsapSpec` (and therefore by every entry
+    point that builds its configuration through the spec: ``smooth``,
+    ``find_window``, ``ASAP``, ``BatchEngine``, ``StreamConfig``,
+    ``connect``).  The message always names the offending field.
+    """
+
+
+class HubError(RuntimeError):
+    """Base class for StreamHub failures."""
+
+
+class HubAtCapacityError(HubError):
+    """The hub is at ``max_sessions`` and its policy rejects new sessions."""
+
+
+class UnknownStreamError(HubError, KeyError):
+    """No session exists under the requested stream id."""
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster-tier failures."""
+
+
+class ShardDownError(ClusterError):
+    """A shard worker is not answering (crashed, killed, or shut down).
+
+    ``shard_ids`` names the dead shard(s); ``partial_frames`` carries frames
+    already collected from healthy shards when a fan-out operation failed
+    part-way, so a recovering caller loses as little as possible.
+    """
+
+    def __init__(self, shard_ids, partial_frames=None) -> None:
+        if isinstance(shard_ids, str):
+            shard_ids = (shard_ids,)
+        self.shard_ids = tuple(shard_ids)
+        self.partial_frames = dict(partial_frames or {})
+        super().__init__(f"shard(s) down: {', '.join(self.shard_ids)}")
+
+
+class ShardProtocolError(ClusterError):
+    """A shard was sent a command it does not understand."""
+
+
+class RemoteShardError(ClusterError):
+    """A shard worker failed in a way its hub did not anticipate.
+
+    Wraps non-hub exceptions (bugs, not API errors) with the worker-side
+    traceback, which would otherwise be lost at the pipe boundary.
+    """
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint payload could not be produced or understood."""
+
+
+class IncrementalDriftError(RuntimeError):
+    """Incremental statistics drifted beyond the 1e-9 agreement discipline."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.streaming import StreamingASAP
+from ..spec import AsapSpec
 from ..stream.sources import ReplaySource
 from ..timeseries.datasets import load
 from .common import format_table, run_with_budget
@@ -73,12 +74,17 @@ def _build_operator(config: Config, n: int, resolution: int) -> StreamingASAP:
     else:
         refresh = 1
     strategy = "asap" if config.autocorrelation else "exhaustive"
-    return StreamingASAP(
+    # The lesion grid as a spec; serving-tier extras stay off so each cell
+    # measures exactly the factor combination the figure names.
+    return AsapSpec(
         pane_size=pane_size,
         resolution=resolution,
         refresh_interval=refresh,
         strategy=strategy,
-    )
+        incremental=False,
+        keep_pane_sketches=True,
+        pyramid=False,
+    ).build_operator()
 
 
 def run(

@@ -16,12 +16,14 @@ cache layer can evolve without a schema bump.
 Checkpoint **kinds** (the ``kind`` field of the payload):
 
 * ``"streamhub"`` — one :class:`StreamHub`: hub parameters, counters, and a
-  session list, each session carrying its :class:`StreamConfig`, bookkeeping
-  (created/last-active tick, frames emitted), and the full
+  session list, each session carrying its config (a full
+  :class:`~repro.spec.AsapSpec` dict — the unified spec is the wire schema
+  for configuration), bookkeeping (created/last-active tick, frames
+  emitted), and the full
   :meth:`~repro.core.streaming.StreamingASAP.state_dict` tree::
 
       {"max_sessions": int, "max_panes_per_session": int,
-       "default_config": {...StreamConfig fields...},
+       "default_config": {...AsapSpec fields...},
        "eviction_policy": str, "idle_ticks_before_eviction": int | None,
        "tick": int, "next_auto_id": int, "counters": {...},
        "sessions": [{"stream_id": str, "config": {...},

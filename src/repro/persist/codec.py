@@ -34,18 +34,19 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import CheckpointError
+
 __all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"]
 
 #: Bumped on any incompatible change to the manifest layout or any producer's
 #: ``state_dict()`` fields.  Readers reject payloads with a different version.
-SCHEMA_VERSION = 1
+#: Version 2: session/default configs are full :class:`repro.spec.AsapSpec`
+#: dicts (the version-1 ``StreamConfig`` fields plus ``use_preaggregation``
+#: and ``kernel``), which version-1 readers would reject as unknown fields.
+SCHEMA_VERSION = 2
 
 #: Marker key replacing numpy arrays in the JSON manifest tree.
 _ARRAY_MARKER = "__npz__"
-
-
-class CheckpointError(RuntimeError):
-    """A checkpoint payload could not be produced or understood."""
 
 
 def _flatten(node, arrays: dict, path: str):

@@ -31,7 +31,6 @@ on-demand boundary, together.  :class:`StreamHub` is that serving layer:
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 from dataclasses import dataclass, field
 
@@ -41,7 +40,9 @@ from ..core.batch import smooth
 from ..core.search import SearchResult
 from ..core.streaming import MIN_PANES_FOR_SEARCH, Frame, StreamingASAP
 from ..engine.batch_engine import GRID_STRATEGY_STEPS, prefill_grid_caches
+from ..errors import HubAtCapacityError, HubError, UnknownStreamError
 from ..pyramid import ViewSpec
+from ..spec import AsapSpec
 from ..timeseries.series import TimeSeries
 
 __all__ = [
@@ -71,60 +72,15 @@ def allocate_auto_id(prefix: str, counter: int, taken) -> tuple[str, int]:
     return candidate, counter
 
 
-class HubError(RuntimeError):
-    """Base class for StreamHub failures."""
-
-
-class HubAtCapacityError(HubError):
-    """The hub is at ``max_sessions`` and its policy rejects new sessions."""
-
-
-class UnknownStreamError(HubError, KeyError):
-    """No session exists under the requested stream id."""
-
-
-@dataclass(frozen=True)
-class StreamConfig:
-    """Per-session configuration, mirroring :class:`StreamingASAP`'s knobs.
-
-    Two serving-layer differences in defaults: ``incremental=True`` — hub
-    sessions maintain their ACF and moment statistics incrementally, so a
-    refresh costs O(new panes) of bookkeeping rather than O(window log
-    window) recomputation (``verify_incremental`` is the exact-recompute
-    escape hatch, and ``recompute_every`` bounds drift) — and
-    ``keep_pane_sketches=False``, which skips per-pane raw-moment state the
-    serving path never reads.  Neither changes any emitted frame.
-    """
-
-    pane_size: int = 1
-    resolution: int = 800
-    refresh_interval: int = 10
-    strategy: str = "asap"
-    max_window: int | None = None
-    seed_from_previous: bool = True
-    incremental: bool = True
-    recompute_every: int = 64
-    verify_incremental: bool = False
-    keep_pane_sketches: bool = False
-    #: Attach a rollup pyramid so ``StreamHub.snapshot(sid, resolution=...)``
-    #: can serve the session's window at any pixel width from shared rollup
-    #: levels.  ~1.33x the window's memory; frames are unaffected.
-    pyramid: bool = True
-
-    def build_operator(self) -> StreamingASAP:
-        return StreamingASAP(
-            pane_size=self.pane_size,
-            resolution=self.resolution,
-            refresh_interval=self.refresh_interval,
-            strategy=self.strategy,
-            max_window=self.max_window,
-            seed_from_previous=self.seed_from_previous,
-            incremental=self.incremental,
-            recompute_every=self.recompute_every,
-            verify_incremental=self.verify_incremental,
-            keep_pane_sketches=self.keep_pane_sketches,
-            pyramid=self.pyramid,
-        )
+#: Per-session configuration *is* the unified spec (:class:`repro.spec.AsapSpec`):
+#: the historical ``StreamConfig`` fields are the spec's streaming + serving
+#: knobs, with identical names and defaults (``incremental=True`` so a refresh
+#: costs O(new panes) of bookkeeping, ``keep_pane_sketches=False`` to skip
+#: per-pane state the serving path never reads, ``pyramid=True`` for
+#: multi-resolution snapshots — none of which changes any emitted frame).
+#: Operators are built from the spec (:meth:`~repro.spec.AsapSpec.build_operator`),
+#: so the service tier has no hand-copied constructor to drift.
+StreamConfig = AsapSpec
 
 
 @dataclass(frozen=True)
@@ -320,7 +276,7 @@ class StreamHub:
         """
         cfg = config or self.default_config
         if overrides:
-            cfg = dataclasses.replace(cfg, **overrides)
+            cfg = cfg.merge(**overrides)
         self._check_pane_budget(cfg)
         with self._lock:
             stream_id = self._claim_stream_id(stream_id)
@@ -701,7 +657,7 @@ class StreamHub:
         """Serialize one session under its lock (caller holds it)."""
         return {
             "stream_id": session.stream_id,
-            "config": dataclasses.asdict(session.config),
+            "config": session.config.to_dict(),
             "created_tick": session.created_tick,
             "last_active_tick": session.last_active_tick,
             "frames_emitted": session.frames_emitted,
@@ -718,7 +674,7 @@ class StreamHub:
         overrides the exported id; the hub's pane budget and capacity policy
         apply as on :meth:`create_stream`.
         """
-        cfg = StreamConfig(**state["config"])
+        cfg = StreamConfig.from_dict(state["config"])
         self._check_pane_budget(cfg)
         operator = StreamingASAP.from_state(state["operator"])
         with self._lock:
@@ -753,7 +709,7 @@ class StreamHub:
             state = {
                 "max_sessions": self.max_sessions,
                 "max_panes_per_session": self.max_panes_per_session,
-                "default_config": dataclasses.asdict(self.default_config),
+                "default_config": self.default_config.to_dict(),
                 "eviction_policy": self.eviction_policy,
                 "idle_ticks_before_eviction": self.idle_ticks_before_eviction,
                 "tick": self._tick,
@@ -786,7 +742,7 @@ class StreamHub:
         hub = cls(
             max_sessions=int(state["max_sessions"]),
             max_panes_per_session=int(state["max_panes_per_session"]),
-            default_config=StreamConfig(**state["default_config"]),
+            default_config=StreamConfig.from_dict(state["default_config"]),
             eviction_policy=str(state["eviction_policy"]),
             idle_ticks_before_eviction=(
                 None
@@ -809,7 +765,7 @@ class StreamHub:
         hub._views_served = int(counters["views_served"])
         hub._view_cache_hits = int(counters["view_cache_hits"])
         for session_state in state["sessions"]:
-            cfg = StreamConfig(**session_state["config"])
+            cfg = StreamConfig.from_dict(session_state["config"])
             hub._check_pane_budget(cfg)
             hub._sessions[str(session_state["stream_id"])] = _Session(
                 stream_id=str(session_state["stream_id"]),

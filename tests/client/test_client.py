@@ -1,0 +1,268 @@
+"""The connect() façade: one lifecycle across every backend."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AsapSpec, Client, SpecError, StreamHandle, connect
+from repro.client import BACKENDS
+from repro.core.streaming import Frame
+from repro.errors import UnknownStreamError
+from repro.service import SessionSnapshot
+
+
+def workload(n=2000, seed=3):
+    rng = np.random.default_rng(seed)
+    ts = np.arange(float(n))
+    return ts, np.sin(ts / 12.0) + rng.normal(0, 0.25, n)
+
+
+SPEC = AsapSpec(pane_size=2, resolution=100, refresh_interval=8)
+
+
+class TestConnect:
+    def test_connect_is_exported_at_the_top(self):
+        assert repro.connect is connect
+
+    def test_bad_backend_named(self):
+        with pytest.raises(SpecError, match="backend"):
+            connect("cloud")
+
+    def test_spec_overrides_build_the_default(self):
+        client = connect("local", resolution=256, pane_size=4)
+        assert client.spec == AsapSpec(resolution=256, pane_size=4)
+
+    def test_spec_plus_overrides_merge(self):
+        client = connect("local", AsapSpec(strategy="grid2"), resolution=256)
+        assert client.spec == AsapSpec(strategy="grid2", resolution=256)
+
+    def test_unknown_spec_field_named(self):
+        with pytest.raises(SpecError, match="resolutoin"):
+            connect("local", resolutoin=256)
+
+    def test_non_spec_argument_named_not_attribute_error(self):
+        with pytest.raises(SpecError, match="AsapSpec, got dict"):
+            connect("hub", {"resolution": 100})
+        client = connect("local")
+        with pytest.raises(SpecError, match="AsapSpec, got str"):
+            client.smooth([1.0] * 100, "asap")
+
+    def test_stream_id_passed_as_spec_gets_a_hint(self):
+        client = connect("local")
+        with pytest.raises(SpecError, match="stream_id"):
+            client.stream("api.latency")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_opens(self, backend):
+        with connect(backend, SPEC) as client:
+            assert client.backend == backend
+            assert len(client) == 0
+            assert "connected" not in client.stream_ids()
+            assert backend in repr(client)
+
+
+class TestOneShot:
+    def test_smooth_matches_direct_call(self):
+        _, vs = workload()
+        client = connect("local")
+        assert client.smooth(vs, resolution=300) == repro.smooth(vs, resolution=300)
+
+    def test_smooth_many_matches_direct_call(self):
+        _, vs = workload()
+        batch = {"a": vs, "b": vs * 2.0}
+        client = connect("local", resolution=300)
+        result = client.smooth_many(batch)
+        direct = repro.smooth_many(batch, resolution=300)
+        assert result.labels == direct.labels
+        assert tuple(result) == tuple(direct)
+
+    def test_engines_are_reused_per_spec(self):
+        _, vs = workload()
+        client = connect("local", resolution=300)
+        client.smooth_many([vs])
+        first = client._engine_for(client.spec)
+        client.smooth_many([vs])
+        assert client._engine_for(client.spec) is first
+        # A refresh with the same series hits the engine's shared ACF cache.
+        assert first.acf_cache.hits > 0
+
+    def test_engine_cache_is_bounded_lru(self):
+        client = connect("local")
+        default = client._engine_for(client.spec)
+        for width in range(100, 100 + 2 * Client.MAX_CACHED_ENGINES):
+            client._engine_for(client.spec.merge(resolution=width))
+            # Keep the default engine warm so the sweep evicts around it.
+            assert client._engine_for(client.spec) is default
+        assert len(client._engines) <= Client.MAX_CACHED_ENGINES
+
+
+class TestStreamingLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_lifecycle(self, backend):
+        ts, vs = workload()
+        with connect(backend, SPEC) as client:
+            stream = client.stream()
+            assert isinstance(stream, StreamHandle)
+            assert stream.stream_id in client
+
+            frames = stream.ingest(ts, vs)
+            frames += stream.tick()
+            assert frames and all(isinstance(f, Frame) for f in frames)
+
+            snap = stream.snapshot()
+            assert isinstance(snap, SessionSnapshot)
+            assert snap.points_ingested == ts.size
+
+            view = stream.snapshot(resolution=50)
+            assert view.resolution == 50
+            assert view.series.values.size <= 50
+
+            final = stream.close()
+            assert isinstance(final, list)
+            assert stream.stream_id not in client
+
+    def test_handle_close_is_idempotent(self):
+        client = connect("local", SPEC)
+        stream = client.stream()
+        stream.close()
+        assert stream.close() == []
+
+    def test_handle_context_manager_discards(self):
+        client = connect("local", SPEC)
+        with client.stream() as stream:
+            sid = stream.stream_id
+        assert sid not in client
+
+    def test_per_stream_spec_overrides(self):
+        client = connect("local", SPEC)
+        stream = client.stream(refresh_interval=3)
+        assert stream.spec == SPEC.merge(refresh_interval=3)
+        assert stream.snapshot().config == stream.spec
+
+    def test_handle_tick_never_drops_other_streams_frames(self):
+        # h1.tick() runs h2's deferred refresh too; h2's frames must stash
+        # on the client and surface at h2's own tick, not vanish.
+        ts, vs = workload()
+        client = connect("local", SPEC)
+        h1 = client.stream(stream_id="one")
+        h2 = client.stream(stream_id="two")
+        h1.ingest(ts, vs)
+        h2.ingest(ts, vs)
+        first = h1.tick()
+        second = h2.tick()
+
+        reference = connect("local", SPEC)
+        lone = reference.stream(stream_id="solo")
+        lone.ingest(ts, vs)
+        expected = lone.tick()
+        assert first == expected
+        assert second == expected
+        assert len(expected) > 0
+
+    def test_close_flushes_stashed_frames(self):
+        ts, vs = workload()
+        client = connect("local", SPEC)
+        h1 = client.stream(stream_id="one")
+        h2 = client.stream(stream_id="two")
+        h1.ingest(ts, vs)
+        h2.ingest(ts, vs)
+        h1.tick()  # stashes h2's tick frame on the client
+        closed = h2.close()
+        reference = connect("local", SPEC)
+        lone = reference.stream(stream_id="solo")
+        lone.ingest(ts, vs)
+        expected = lone.tick() + lone.close()
+        assert closed == expected
+
+    def test_stash_survives_a_raising_tick(self):
+        # A dead shard makes client.tick() raise; frames another handle's
+        # tick stashed must survive for the retry after recovery.
+        from repro.errors import ShardDownError
+
+        ts, vs = workload()
+        with connect("sharded", SPEC, shards=2) as client:
+            a = client.stream(stream_id="a")
+            b = client.stream(stream_id="b")
+            a.ingest(ts, vs)
+            b.ingest(ts, vs)
+            a.tick()  # runs b's refresh too; b's frames stash on the client
+            assert client._pending_frames.get("b")
+            stashed = list(client._pending_frames["b"])
+            client.hub.kill_shard(client.hub.shard_of("a"))
+            with pytest.raises(ShardDownError):
+                client.tick()
+            assert client._pending_frames.get("b") == stashed
+            client.hub.drop_shard(client.hub.shard_of("a"))
+            assert client.tick().get("b") == stashed  # surfaces after recovery
+
+    def test_raising_close_does_not_destroy_stashed_frames(self):
+        ts, vs = workload()
+        client = connect("local", SPEC, idle_ticks_before_eviction=1)
+        one = client.stream(stream_id="one")
+        two = client.stream(stream_id="two")
+        one.ingest(ts, vs)
+        two.ingest(ts, vs)
+        one.tick()  # stashes two's frames
+        stashed = list(client._pending_frames["two"])
+        for _ in range(3):  # idle ticks evict both streams hub-side
+            client.hub.tick()
+        with pytest.raises(UnknownStreamError):
+            client.close_stream("two")
+        assert client._pending_frames["two"] == stashed  # not destroyed
+
+    def test_none_overrides_mean_not_provided(self):
+        # Same convention as the legacy kwargs: None is "use the default".
+        _, vs = workload()
+        client = connect("local", strategy=None, resolution=300)
+        assert client.spec == AsapSpec(resolution=300)
+        assert client.smooth(vs, strategy=None) == repro.smooth(
+            vs, resolution=300, strategy=None
+        )
+
+    def test_client_level_ingest_and_tick(self):
+        ts, vs = workload()
+        client = connect("local", SPEC)
+        a = client.stream(stream_id="a").stream_id
+        b = client.stream(stream_id="b").stream_id
+        client.ingest(a, ts, vs)
+        client.ingest(b, ts, vs)
+        emitted = client.tick()
+        assert set(emitted) <= {a, b}
+        assert client.stats.points_ingested == 2 * ts.size
+        with pytest.raises(UnknownStreamError):
+            client.ingest("nope", ts, vs)
+
+
+class TestDurability:
+    @pytest.mark.parametrize("backend", ["hub", "sharded"])
+    def test_checkpoint_restore_resumes_bit_identically(self, backend, tmp_path):
+        ts, vs = workload(4000)
+        half = 2000
+        with connect(backend, SPEC) as client:
+            sid = client.stream(stream_id="s").stream_id
+            client.ingest(sid, ts[:half], vs[:half])
+            client.tick()
+            path = client.checkpoint(tmp_path / "state.npz")
+
+            restored = Client.restore(path)
+            assert restored.backend == backend
+            assert restored.spec == SPEC
+
+            tail_live = client.ingest(sid, ts[half:], vs[half:])
+            tail_live += client.tick().get(sid, [])
+            tail_restored = restored.ingest(sid, ts[half:], vs[half:])
+            tail_restored += restored.tick().get(sid, [])
+            restored.close()
+        assert len(tail_live) == len(tail_restored) > 0
+        for live, resumed in zip(tail_live, tail_restored):
+            assert live == resumed
+
+    def test_module_level_restore(self, tmp_path):
+        from repro.client import restore
+
+        client = connect("local", SPEC)
+        client.stream(stream_id="x")
+        payload = client.checkpoint()
+        reopened = restore(payload)
+        assert reopened.backend == "hub"  # local streams live on a hub
+        assert "x" in reopened

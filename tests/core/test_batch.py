@@ -101,3 +101,66 @@ class TestASAPClass:
     def test_rejects_bad_resolution(self):
         with pytest.raises(ValueError):
             ASAP(resolution=0)
+
+    def test_attributes_stay_assignable_and_now_validate(self, taxi_small):
+        # Pre-spec, the knobs were plain attributes; assignment must keep
+        # working (now re-merging the spec) and invalid values must raise.
+        operator = ASAP(resolution=400)
+        operator.resolution = 200
+        operator.strategy = "grid2"
+        assert operator.spec == operator.spec.merge(resolution=200, strategy="grid2")
+        assert operator.smooth(taxi_small.series) == smooth(
+            taxi_small.series, resolution=200, strategy="grid2"
+        )
+        with pytest.raises(ValueError, match="resolution"):
+            operator.resolution = 0
+
+
+class TestASAPForwardsEveryKnob:
+    """Regression: ASAP.smooth()/find_window() used to silently drop
+    ``kernel``, ``cache``, and ``acf`` — the dataclass and the function must
+    accept the same knobs and forward them through the spec path."""
+
+    def test_forwarded_call_sees_kernel_cache_and_acf(self, taxi_small, monkeypatch):
+        from repro.core import batch as batch_module
+
+        captured = {}
+
+        def capture(data, *args, **kwargs):
+            captured.update(kwargs)
+            return "sentinel"
+
+        monkeypatch.setattr(batch_module, "smooth", capture)
+        operator = ASAP(resolution=400, kernel="scalar")
+        cache, acf = object(), object()
+        assert operator.smooth(taxi_small.series, cache=cache, acf=acf) == "sentinel"
+        assert captured["spec"].kernel == "scalar"
+        assert captured["cache"] is cache
+        assert captured["acf"] is acf
+
+        captured.clear()
+        monkeypatch.setattr(batch_module, "find_window", capture)
+        assert operator.find_window(taxi_small.series, cache=cache, acf=acf) == "sentinel"
+        assert captured["spec"].kernel == "scalar"
+        assert captured["cache"] is cache
+        assert captured["acf"] is acf
+
+    def test_scalar_kernel_configures_the_evaluation_path(self, taxi_small):
+        from repro.core.batch import find_window
+        from repro.core.preaggregation import prepare_search_input
+        from repro.core.smoothing import EvaluationCache
+
+        operator = ASAP(resolution=400, kernel="scalar")
+        assert operator.kernel == "scalar"
+        assert operator.smooth(taxi_small.series) == smooth(
+            taxi_small.series, resolution=400, kernel="scalar"
+        )
+
+        # A caller-supplied cache is actually consulted, not dropped.
+        staged = prepare_search_input(taxi_small.series.values, 400)
+        cache = EvaluationCache(staged.values)
+        reference, _ = find_window(taxi_small.series, resolution=400, cache=cache)
+        hits_before = cache.hits
+        again, _ = operator.find_window(taxi_small.series, cache=cache)
+        assert again == reference
+        assert cache.hits > hits_before
