@@ -147,6 +147,10 @@ def run(args: argparse.Namespace) -> int:
         resolution=args.resolution,
         refresh_interval=args.refresh_interval,
         strategy=args.strategy,
+        # This benchmark measures refresh throughput, not multi-resolution
+        # snapshots (bench_pyramid covers those).  The looped baseline never
+        # builds a pyramid, so the hub must not pay for one either.
+        pyramid=False,
     )
     streams = make_streams(args.streams, args.length, args.seed)
     ts = np.arange(args.length, dtype=np.float64)

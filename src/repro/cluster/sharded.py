@@ -485,6 +485,8 @@ class ShardedHub:
             view_cache_hits=sum(s.view_cache_hits for s in per_shard),
             sessions_imported=sum(s.sessions_imported for s in per_shard),
             sessions_exported=sum(s.sessions_exported for s in per_shard),
+            warm_prefetches=sum(s.warm_prefetches for s in per_shard),
+            warm_fallbacks=sum(s.warm_fallbacks for s in per_shard),
         )
 
     def _fan_out(self, command: str, payload) -> list[tuple[str, object]]:

@@ -52,9 +52,17 @@ __all__ = [
     "asap_search",
     "search_periodic",
     "resolve_max_window",
+    "plan_warm_probes",
+    "ADAPTIVE_STRATEGIES",
     "STRATEGIES",
     "run_strategy",
 ]
+
+#: Strategies whose candidate set is data-dependent (bisection paths, ACF
+#: peaks) rather than a fixed grid.  These are the strategies that benefit
+#: from warm-started probe prefetching: a fixed-grid strategy already charges
+#: its whole candidate set to one vectorized kernel call.
+ADAPTIVE_STRATEGIES = ("asap", "binary")
 
 
 @dataclass(frozen=True)
@@ -147,6 +155,37 @@ def resolve_max_window(values, max_window: int | None) -> int:
 
 def _resolve_cache(values, cache: EvaluationCache | None) -> EvaluationCache:
     return EvaluationCache(values) if cache is None else cache
+
+
+def plan_warm_probes(
+    trace, previous_window: int | None, limit: int
+) -> list[int]:
+    """The candidate windows a warm-started search should prefetch.
+
+    *trace* is the previous refresh's touched-window trace
+    (:meth:`~repro.core.smoothing.EvaluationCache.touched_windows`);
+    *previous_window* the window it selected; *limit* the current search
+    ceiling (:func:`resolve_max_window`).  The plan is the trace plus the
+    previous window and its immediate neighbors — streaming windows drift
+    slowly, so the new search's bisection path and peak probes almost always
+    land inside this set — clipped to the valid range ``[2, limit]`` and
+    deduplicated, sorted ascending.
+
+    Prefetching these through one stacked kernel call
+    (:func:`~repro.spectral.convolution.sma_probe_moments`) and replaying the
+    ordinary search over the pre-filled cache leaves the search's decisions —
+    and therefore the selected window and emitted frame — bit-identical to a
+    cold search; only the kernel dispatch count changes.  A probe the new
+    search does not request is a few wasted rows in the stacked call; a probe
+    it needs but the plan lacks falls through to an ordinary single-window
+    evaluation (the fallback the streaming operator counts).
+    """
+    candidates: set[int] = set()
+    if trace is not None:
+        candidates.update(int(w) for w in trace)
+    if previous_window is not None:
+        candidates.update((previous_window - 1, previous_window, previous_window + 1))
+    return sorted(w for w in candidates if 2 <= w <= limit)
 
 
 # -- baseline strategies -----------------------------------------------------

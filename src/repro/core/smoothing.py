@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SpecError
+from ..spectral import accel
 from ..spectral.convolution import sma, sma_grid_moments, sma_window_moments, sma_with_slide
 from ..timeseries.series import TimeSeries
 from ..timeseries.stats import kurtosis, roughness
@@ -100,8 +101,11 @@ class EvaluationCache:
     these, which provides:
 
     * one numeric path for all strategies (``kernel="grid"``: the vectorized
-      kernel; ``kernel="scalar"``: the reference loop, kept for benchmarking
-      the pre-vectorization behaviour);
+      numpy kernel; ``kernel="scalar"``: the reference loop, kept for
+      benchmarking the pre-vectorization behaviour; ``kernel="numba"``: the
+      compiled backend of :mod:`repro.spectral.accel`, silently degrading to
+      ``"grid"`` when numba is not installed — :attr:`backend` reports the
+      effective choice);
     * memoization, so re-examined candidates (seeded streaming searches, the
       ASAP gap binary search crossing an already-evaluated peak) cost
       nothing — note ``candidates_evaluated`` accounting is unaffected: it
@@ -109,21 +113,47 @@ class EvaluationCache:
     * a pre-fill hook (:meth:`seed`) used by the batch engine to charge a
       whole grid of candidates to one batched kernel call across many series;
     * the original series' roughness/kurtosis, computed once and shared by
-      the search and the result assembly.
+      the search and the result assembly;
+    * the *touched-window trace* — every window a search requested through
+      :meth:`evaluate`/:meth:`evaluate_many` — which the streaming operator's
+      warm-started search prefetches on the next refresh
+      (:meth:`touched_windows`; pre-fills via :meth:`seed` do not count).
+
+    ``kernel=None`` resolves through :func:`repro.spec.default_kernel`, so
+    the ``ASAP_KERNEL`` environment variable selects the backend for every
+    default-constructed cache (the search strategies' internal caches
+    included).
     """
 
-    __slots__ = ("values", "kernel", "_evaluations", "_original", "hits", "misses")
+    __slots__ = (
+        "values",
+        "kernel",
+        "backend",
+        "_evaluations",
+        "_original",
+        "_touched",
+        "hits",
+        "misses",
+    )
 
-    def __init__(self, values, kernel: str = "grid") -> None:
+    def __init__(self, values, kernel: str | None = None) -> None:
         arr = np.asarray(values, dtype=np.float64)
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
-        if kernel not in ("grid", "scalar"):
-            raise SpecError(f"kernel must be 'grid' or 'scalar', got {kernel!r}")
+        if kernel is None:
+            from ..spec import default_kernel
+
+            kernel = default_kernel()
+        if kernel not in ("grid", "scalar", "numba"):
+            raise SpecError(f"kernel must be 'grid', 'scalar', or 'numba', got {kernel!r}")
         self.values = arr
         self.kernel = kernel
+        # The effective backend: "numba" degrades gracefully to the numpy
+        # grid kernels when the optional dependency is missing.
+        self.backend = "grid" if kernel == "numba" and not accel.HAVE_NUMBA else kernel
         self._evaluations: dict[int, WindowEvaluation] = {}
         self._original: tuple[float, float] | None = None
+        self._touched: set[int] = set()
         self.hits = 0
         self.misses = 0
 
@@ -158,13 +188,17 @@ class EvaluationCache:
     def evaluate(self, window: int) -> WindowEvaluation:
         """Evaluation of one candidate window, memoized."""
         window = int(window)
+        self._touched.add(window)
         cached = self._evaluations.get(window)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
-        if self.kernel == "scalar":
+        if self.backend == "scalar":
             evaluation = evaluate_window(self.values, window)
+        elif self.backend == "numba":
+            rough, kurt = accel.sma_window_moments_numba(self.values, window)
+            evaluation = WindowEvaluation(window=window, roughness=rough, kurtosis=kurt)
         else:
             # Single-candidate probes take the lean kernel, which produces
             # bit-identical values to the grid kernel at a fraction of the
@@ -178,11 +212,18 @@ class EvaluationCache:
     def evaluate_many(self, windows) -> list[WindowEvaluation]:
         """Evaluations for a whole candidate grid, one kernel call for misses."""
         window_list = [int(w) for w in windows]
+        self._touched.update(window_list)
         missing = sorted({w for w in window_list if w not in self._evaluations})
         if missing:
             self.misses += len(missing)
-            if self.kernel == "scalar":
+            if self.backend == "scalar":
                 fresh = [evaluate_window(self.values, w) for w in missing]
+            elif self.backend == "numba":
+                rough, kurt = accel.sma_grid_moments_numba(self.values, missing)
+                fresh = [
+                    WindowEvaluation(window=w, roughness=float(r), kurtosis=float(k))
+                    for w, r, k in zip(missing, rough, kurt)
+                ]
             elif len(missing) == 1:
                 rough, kurt = sma_window_moments(self.values, missing[0])
                 fresh = [WindowEvaluation(window=missing[0], roughness=rough, kurtosis=kurt)]
@@ -191,6 +232,15 @@ class EvaluationCache:
             self.seed(fresh)
         self.hits += len(window_list) - len(missing)
         return [self._evaluations[w] for w in window_list]
+
+    def touched_windows(self) -> tuple[int, ...]:
+        """Every window a search *requested*, sorted — the warm-start trace.
+
+        Pre-fills via :meth:`seed` are excluded, so a trace replayed across
+        refreshes stays tight: probes the previous search never consulted
+        drop out instead of being prefetched forever.
+        """
+        return tuple(sorted(self._touched))
 
     def __len__(self) -> int:
         return len(self._evaluations)

@@ -43,10 +43,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import IncrementalDriftError
+from ..errors import IncrementalDriftError, SpecError
 from ..pyramid.rollup import Pyramid
 from ..pyramid.view import PyramidView, ViewSpec
-from ..spectral.convolution import cross_product_sums
+from ..spectral import accel
+from ..spectral.convolution import cross_product_sums, sma_probe_moments
 from ..stream.operators import StreamOperator
 from ..stream.panes import PaneBuffer, RollingArray
 from ..stream.sources import StreamPoint
@@ -60,8 +61,16 @@ from .acf import (
     autocorrelation,
     default_max_lag,
 )
-from .search import SearchResult, SearchState, asap_search, run_strategy
-from .smoothing import EvaluationCache, sma
+from .search import (
+    ADAPTIVE_STRATEGIES,
+    SearchResult,
+    SearchState,
+    asap_search,
+    plan_warm_probes,
+    resolve_max_window,
+    run_strategy,
+)
+from .smoothing import EvaluationCache, WindowEvaluation, sma
 
 __all__ = [
     "Frame",
@@ -585,6 +594,26 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         default level ratios), or a pre-built pyramid of matching capacity.
         The pyramid observes completions only — frames are bit-identical with
         or without it.
+    warm_start:
+        Seed each refresh's search with the previous refresh's *probe trace*:
+        every window the last search touched (plus the previous winner's
+        neighborhood) is prefetched in **one** stacked kernel call before the
+        search runs, so a stable stream's refresh collapses from a long run
+        of single-window kernel dispatches to a single batched one plus cache
+        hits.  The search logic itself is untouched and the prefetched values
+        come from a kernel bit-identical to the cold path's, so frames are
+        bit-identical to ``warm_start=False`` — only the dispatch count
+        changes.  When the stream drifts and the search leaves the prefetched
+        trace, the extra probes fall through as ordinary cache misses (a
+        counted *fallback*, see :attr:`warm_fallbacks`).  Only adaptive
+        strategies (``"asap"``, ``"binary"``) participate; grid strategies
+        already evaluate their whole candidate grid in one call.
+    kernel:
+        Moment-kernel backend for per-refresh candidate evaluation
+        (``"grid"``, ``"scalar"``, or ``"numba"`` — see
+        :class:`~repro.core.smoothing.EvaluationCache`).  ``None`` resolves
+        through :func:`repro.spec.default_kernel` at each refresh, honoring
+        the ``ASAP_KERNEL`` environment variable.
     """
 
     def __init__(
@@ -600,11 +629,15 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         verify_incremental: bool = False,
         keep_pane_sketches: bool = True,
         pyramid: Pyramid | bool | None = None,
+        warm_start: bool = True,
+        kernel: str | None = None,
     ) -> None:
         if refresh_interval < 1:
             raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
         if recompute_every < 1:
             raise ValueError(f"recompute_every must be >= 1, got {recompute_every}")
+        if kernel is not None and kernel not in ("grid", "scalar", "numba"):
+            raise SpecError(f"kernel must be 'grid', 'scalar', or 'numba', got {kernel!r}")
         self.incremental = bool(incremental or verify_incremental)
         self.recompute_every = recompute_every
         self.verify_incremental = verify_incremental
@@ -628,6 +661,14 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self.strategy = strategy
         self.max_window = max_window
         self.seed_from_previous = seed_from_previous
+        self.warm_start = bool(warm_start)
+        self.kernel = kernel
+        self._warm_trace: tuple[int, ...] | None = None
+        self._warm_prefetches = 0
+        self._warm_fallbacks = 0
+        # Reused (2, k, n) buffer for the prefetch kernel — scratch only,
+        # never serialized; results are independent of its contents.
+        self._probe_workspace: np.ndarray | None = None
         # Lag sums are only ever read by the ASAP strategy's ACF; other
         # strategies keep just the O(1)-per-pane moment sums.
         self._rolling = (
@@ -657,9 +698,9 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         The one spec -> operator constructor, shared by the service tier's
         sessions, the cluster tier, and the client façade (duck-typed on the
         spec's streaming and serving fields, so this module needs no import
-        of the spec layer).  The spec's batch-only knobs
-        (``use_preaggregation``, ``kernel``) do not apply here: the streaming
-        path aggregates through ``pane_size``.
+        of the spec layer).  The spec's only batch-only knob
+        (``use_preaggregation``) does not apply here: the streaming path
+        aggregates through ``pane_size``.
         """
         return cls(
             pane_size=spec.pane_size,
@@ -673,6 +714,8 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             verify_incremental=spec.verify_incremental,
             keep_pane_sketches=spec.keep_pane_sketches,
             pyramid=spec.pyramid,
+            warm_start=spec.warm_start,
+            kernel=spec.kernel,
         )
 
     @staticmethod
@@ -717,6 +760,19 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         ill-conditioned (offset far exceeding spread) for any incremental
         formulation to match the scalar kernels to 1e-9."""
         return self._exact_fallbacks
+
+    @property
+    def warm_prefetches(self) -> int:
+        """Refreshes whose search was seeded by a warm-start trace prefetch."""
+        return self._warm_prefetches
+
+    @property
+    def warm_fallbacks(self) -> int:
+        """Warm-started refreshes whose search left the prefetched trace
+        (the stream drifted), paying ordinary single-probe kernel calls for
+        the uncovered candidates.  Frames are unaffected — this counts lost
+        speedup, not lost accuracy."""
+        return self._warm_fallbacks
 
     # -- serving-layer accessors (used by repro.service.StreamHub) ------------
 
@@ -848,6 +904,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             self.pyramid.clear()
         self._panes_since_refresh = 0
         self._previous_window = None
+        self._warm_trace = None
         self._refresh_due = False
         self._refreshes_since_rebuild = 0
 
@@ -875,8 +932,13 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             "recompute_every": self.recompute_every,
             "verify_incremental": self.verify_incremental,
             "keep_pane_sketches": self._buffer.keep_sketches,
+            "warm_start": self.warm_start,
+            "kernel": self.kernel,
             "panes_since_refresh": self._panes_since_refresh,
             "previous_window": self._previous_window,
+            "warm_trace": None if self._warm_trace is None else list(self._warm_trace),
+            "warm_prefetches": self._warm_prefetches,
+            "warm_fallbacks": self._warm_fallbacks,
             "refresh_due": self._refresh_due,
             "refresh_count": self._refresh_count,
             "searches_run": self._searches_run,
@@ -904,6 +966,8 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             verify_incremental=bool(state["verify_incremental"]),
             keep_pane_sketches=bool(state["keep_pane_sketches"]),
             pyramid=False,
+            warm_start=bool(state["warm_start"]),
+            kernel=None if state["kernel"] is None else str(state["kernel"]),
         )
         operator._buffer = PaneBuffer.from_state(state["buffer"])
         operator._rolling = (
@@ -916,6 +980,13 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         operator._previous_window = (
             None if state["previous_window"] is None else int(state["previous_window"])
         )
+        operator._warm_trace = (
+            None
+            if state["warm_trace"] is None
+            else tuple(int(w) for w in state["warm_trace"])
+        )
+        operator._warm_prefetches = int(state["warm_prefetches"])
+        operator._warm_fallbacks = int(state["warm_fallbacks"])
         operator._refresh_due = bool(state["refresh_due"])
         operator._refresh_count = int(state["refresh_count"])
         operator._searches_run = int(state["searches_run"])
@@ -1007,7 +1078,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         if self._rolling is not None and not use_incremental:
             self._exact_fallbacks += 1
         if cache is None:
-            cache = EvaluationCache(values)
+            cache = EvaluationCache(values, kernel=self.kernel)
             if use_incremental:
                 self._refreshes_since_rebuild += 1
                 if self._refreshes_since_rebuild >= self.recompute_every:
@@ -1024,6 +1095,48 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
                         "kurtosis", rolling_kurtosis, _scalar_kurtosis(values)
                     )
                 cache.seed_original(rolling_roughness, rolling_kurtosis)
+        # Warm-started search: prefetch the previous refresh's probe trace
+        # (plus the previous winner's neighborhood) in one stacked kernel
+        # call, then let the unchanged search replay over cache hits.  The
+        # prefetched values come from a kernel bit-identical to the cold
+        # path's single-window probes, so the search makes identical
+        # decisions and frames are bit-identical — only dispatch count
+        # changes.  Scalar backend is excluded (different rounding path);
+        # grid strategies are excluded (they already batch their grid).
+        warm_prefetched = False
+        warm_eligible = (
+            self.warm_start
+            and self.strategy in ADAPTIVE_STRATEGIES
+            and cache.backend in ("grid", "numba")
+        )
+        if warm_eligible and self._warm_trace is not None:
+            probes = plan_warm_probes(
+                self._warm_trace,
+                self._previous_window,
+                resolve_max_window(values, self.max_window),
+            )
+            if len(probes) >= 2:
+                if cache.backend == "numba":
+                    rough, kurt = accel.sma_grid_moments_numba(values, probes)
+                else:
+                    workspace = self._probe_workspace
+                    if (
+                        workspace is None
+                        or workspace.shape[1] < len(probes)
+                        or workspace.shape[2] != values.size
+                    ):
+                        workspace = np.empty(
+                            (2, max(len(probes) + 8, 16), values.size),
+                            dtype=np.float64,
+                        )
+                        self._probe_workspace = workspace
+                    rough, kurt = sma_probe_moments(values, probes, workspace=workspace)
+                cache.seed(
+                    WindowEvaluation(window=w, roughness=float(r), kurtosis=float(k))
+                    for w, r, k in zip(probes, rough, kurt)
+                )
+                warm_prefetched = True
+                self._warm_prefetches += 1
         if self.strategy == "asap":
             max_lag = self._resolved_max_lag(values.size)
             if use_incremental and self._rolling.lag_budget >= max_lag:
@@ -1040,6 +1153,12 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             )
         else:
             search = run_strategy(self.strategy, values, self.max_window, cache=cache)
+        if warm_prefetched and cache.misses > 0:
+            # The search left the prefetched trace (stream drift / regime
+            # change) and paid single-probe kernel calls for the rest.
+            self._warm_fallbacks += 1
+        if warm_eligible:
+            self._warm_trace = cache.touched_windows()
         self._searches_run += 1
         self._candidates_evaluated += search.candidates_evaluated
         self._previous_window = search.window

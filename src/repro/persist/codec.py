@@ -43,7 +43,11 @@ __all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"
 #: Version 2: session/default configs are full :class:`repro.spec.AsapSpec`
 #: dicts (the version-1 ``StreamConfig`` fields plus ``use_preaggregation``
 #: and ``kernel``), which version-1 readers would reject as unknown fields.
-SCHEMA_VERSION = 2
+#: Version 3: specs gain ``warm_start``; operator state gains ``warm_start``,
+#: ``kernel``, the warm probe trace (``warm_trace``), and the
+#: ``warm_prefetches``/``warm_fallbacks`` counters — required keys that
+#: version-2 readers would fail on (and version-2 payloads lack).
+SCHEMA_VERSION = 3
 
 #: Marker key replacing numpy arrays in the JSON manifest tree.
 _ARRAY_MARKER = "__npz__"

@@ -141,6 +141,13 @@ class HubStats:
     :meth:`StreamHub.export_session` with ``remove=True``) — the cluster
     tier's migration and restore traffic — separately from sessions created
     and closed through the ordinary lifecycle.
+
+    ``warm_prefetches``/``warm_fallbacks`` sum the warm-started-search
+    counters of the *currently active* sessions (see
+    :attr:`repro.core.streaming.StreamingASAP.warm_prefetches`): how many
+    refreshes were seeded by a stacked trace prefetch, and how many of those
+    left the trace anyway.  A rising fallback share means the streams are
+    drifting faster than the refresh cadence amortizes.
     """
 
     sessions_active: int
@@ -156,6 +163,8 @@ class HubStats:
     view_cache_hits: int
     sessions_imported: int = 0
     sessions_exported: int = 0
+    warm_prefetches: int = 0
+    warm_fallbacks: int = 0
 
 
 @dataclass
@@ -795,6 +804,12 @@ class StreamHub:
                 view_cache_hits=self._view_cache_hits,
                 sessions_imported=self._sessions_imported,
                 sessions_exported=self._sessions_exported,
+                warm_prefetches=sum(
+                    s.operator.warm_prefetches for s in self._sessions.values()
+                ),
+                warm_fallbacks=sum(
+                    s.operator.warm_fallbacks for s in self._sessions.values()
+                ),
             )
 
     def __repr__(self) -> str:

@@ -34,18 +34,32 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, fields
 
 from .errors import SpecError
 from .persist.codec import SCHEMA_VERSION
 
-__all__ = ["AsapSpec", "DEFAULT_RESOLUTION", "SpecError", "SCHEMA_VERSION"]
+__all__ = ["AsapSpec", "DEFAULT_RESOLUTION", "SpecError", "SCHEMA_VERSION", "default_kernel"]
 
 #: The paper's user-study rendering width; a sensible dashboard default.
 DEFAULT_RESOLUTION = 800
 
 #: Valid candidate-evaluation kernels (see :class:`repro.core.smoothing.EvaluationCache`).
-_KERNELS = ("grid", "scalar")
+#: ``"numba"`` requires the optional numba dependency and falls back to
+#: ``"grid"`` when it is missing.
+_KERNELS = ("grid", "scalar", "numba")
+
+
+def default_kernel() -> str:
+    """The default candidate-evaluation kernel, overridable via ``ASAP_KERNEL``.
+
+    Read at spec/cache construction time, so ``ASAP_KERNEL=numba pytest ...``
+    reruns every default-configured code path through the compiled backend
+    (CI's numba leg does exactly this).  Values are validated wherever they
+    are consumed; an unknown name raises :class:`SpecError` naming the field.
+    """
+    return os.environ.get("ASAP_KERNEL", "").strip() or "grid"
 
 
 def _strategy_names() -> tuple[str, ...]:
@@ -95,8 +109,11 @@ class AsapSpec:
         Disable to search the raw series (batch pipeline only; the streaming
         tier aggregates through ``pane_size`` instead).
     kernel:
-        Candidate-evaluation kernel, ``"grid"`` (vectorized) or ``"scalar"``
-        (the reference loop, kept for benchmarking).
+        Candidate-evaluation kernel: ``"grid"`` (vectorized numpy, the
+        default), ``"scalar"`` (the reference loop, kept for benchmarking),
+        or ``"numba"`` (compiled; falls back to ``"grid"`` when numba is not
+        installed).  The default honours the ``ASAP_KERNEL`` environment
+        variable at construction time.
 
     Streaming knobs (read by ``StreamingASAP`` via :meth:`build_operator`):
 
@@ -115,6 +132,11 @@ class AsapSpec:
     verify_incremental:
         Escape hatch: recompute exactly on every refresh and raise on
         disagreement beyond 1e-9.
+    warm_start:
+        Seed each refresh's search with the previous refresh's probe trace,
+        evaluated by one stacked kernel call, so the replayed search runs on
+        cache hits (bit-identical frames; see
+        :class:`~repro.core.streaming.StreamingASAP`).
 
     Serving knobs (read by the hub tiers):
 
@@ -132,13 +154,14 @@ class AsapSpec:
     max_window: int | None = None
     strategy: str = "asap"
     use_preaggregation: bool = True
-    kernel: str = "grid"
+    kernel: str = dataclasses.field(default_factory=default_kernel)
     pane_size: int = 1
     refresh_interval: int = 10
     seed_from_previous: bool = True
     incremental: bool = True
     recompute_every: int = 64
     verify_incremental: bool = False
+    warm_start: bool = True
     keep_pane_sketches: bool = False
     pyramid: bool = True
 
@@ -155,6 +178,7 @@ class AsapSpec:
         "incremental",
         "recompute_every",
         "verify_incremental",
+        "warm_start",
     )
     SERVING_FIELDS = ("keep_pane_sketches", "pyramid")
 
@@ -182,6 +206,7 @@ class AsapSpec:
         _require_bool("seed_from_previous", self.seed_from_previous)
         _require_bool("incremental", self.incremental)
         _require_bool("verify_incremental", self.verify_incremental)
+        _require_bool("warm_start", self.warm_start)
         _require_bool("keep_pane_sketches", self.keep_pane_sketches)
         _require_bool("pyramid", self.pyramid)
         return self

@@ -2,6 +2,7 @@
 
 from .fft import fft, ifft, is_power_of_two, next_fast_len
 from .convolution import (
+    cross_product_sums,
     prefix_moment_stack,
     sliding_max,
     sliding_min,
@@ -9,6 +10,8 @@ from .convolution import (
     sma2d,
     sma_grid,
     sma_grid_moments,
+    sma_probe_moments,
+    sma_window_moments,
     sma_with_slide,
     windowed_moment_sums,
 )
@@ -27,6 +30,7 @@ __all__ = [
     "ifft",
     "is_power_of_two",
     "next_fast_len",
+    "cross_product_sums",
     "prefix_moment_stack",
     "sliding_max",
     "sliding_min",
@@ -34,6 +38,8 @@ __all__ = [
     "sma2d",
     "sma_grid",
     "sma_grid_moments",
+    "sma_probe_moments",
+    "sma_window_moments",
     "sma_with_slide",
     "windowed_moment_sums",
     "ParameterizedFilter",

@@ -1,0 +1,192 @@
+"""Optional compiled moment kernels (the ``"numba"`` kernel backend).
+
+The numpy grid kernels in :mod:`repro.spectral.convolution` are memory-bound:
+they materialize padded ``(windows, n)`` SMA buffers and stream several
+same-sized temporaries through every reduction.  The kernels here compute the
+identical statistics with fused loops over one prefix-sum array — no
+materialized smoothed buffer at all — which a compiler turns into
+cache-resident arithmetic.  They are selected through the existing
+``AsapSpec.kernel`` knob (``kernel="numba"``) and the ``ASAP_KERNEL``
+environment variable.
+
+**Dependency gating.**  numba is optional and never a hard import: when it is
+missing, :data:`HAVE_NUMBA` is ``False`` and consumers
+(:class:`repro.core.smoothing.EvaluationCache`) silently fall back to the
+numpy ``"grid"`` backend.  The ``@njit`` decorator degrades to a no-op, so
+the kernel *algorithms* below remain plain Python functions — the equivalence
+tests exercise them (at small sizes) with or without numba installed, and CI's
+numba leg runs the same tests compiled.
+
+**Numerics.**  The prefix sums are accumulated sequentially, matching
+``np.cumsum``, so the smoothed values agree with the numpy kernels to the
+last bit; the moment reductions accumulate sequentially where numpy uses
+pairwise summation, so roughness/kurtosis agree to ~1e-12 relative — well
+inside the repo's 1e-9 discipline but *not* bitwise.  Window selection is
+therefore verified empirically against the numpy path (same windows, frames
+bit-identical) by ``benchmarks/bench_kernels.py`` and the kernel-equivalence
+tests before any timing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .convolution import _as_batch, _validate_window, _validated_window_grid
+
+__all__ = [
+    "HAVE_NUMBA",
+    "sma_window_moments_numba",
+    "sma_grid_moments_numba",
+    "cross_product_sums_numba",
+]
+
+try:
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on machines without numba
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator stand-in: keeps the kernels importable and testable
+        as plain Python when numba is absent."""
+
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+
+@njit(cache=True)
+def _window_moments_from_prefix(prefix, raw, window, n):  # pragma: no cover - jitted
+    """Roughness and kurtosis of ``SMA(x, window)`` from the prefix sums.
+
+    Two passes of O(1)-per-position arithmetic: the smoothed value at *i* is
+    ``(prefix[i + window] - prefix[i]) / window`` (bit-identical to the numpy
+    kernels' fill), recomputed on the fly in each pass instead of being
+    materialized.  ``raw`` backs the window-1 identity bypass.
+    """
+    span = n - window + 1
+    count = float(span)
+    inv = 1.0 / float(window)
+
+    total = 0.0
+    diff_total = 0.0
+    prev = 0.0
+    for i in range(span):
+        if window == 1:
+            value = raw[i]
+        else:
+            value = (prefix[i + window] - prefix[i]) * inv
+        total += value
+        if i > 0:
+            diff_total += value - prev
+        prev = value
+    mean = total / count
+    diff_count = count - 1.0
+    if diff_count < 1.0:
+        diff_count = 1.0
+    diff_mean = diff_total / diff_count
+
+    second = 0.0
+    fourth = 0.0
+    diff_var = 0.0
+    prev = 0.0
+    for i in range(span):
+        if window == 1:
+            value = raw[i]
+        else:
+            value = (prefix[i + window] - prefix[i]) * inv
+        centered = value - mean
+        squared = centered * centered
+        second += squared
+        fourth += squared * squared
+        if i > 0:
+            d = (value - prev) - diff_mean
+            diff_var += d * d
+        prev = value
+    second /= count
+    fourth /= count
+    kurtosis = fourth / (second * second) if second > 0.0 else 0.0
+    roughness = math.sqrt(diff_var / diff_count) if count >= 2.0 else 0.0
+    return roughness, kurtosis
+
+
+@njit(cache=True)
+def _grid_moments(batch, windows, rough_out, kurt_out):  # pragma: no cover - jitted
+    """Fill ``(batch, windows)`` moment grids with fused per-row loops."""
+    n_series, n = batch.shape
+    prefix = np.zeros(n + 1, dtype=np.float64)
+    for s in range(n_series):
+        row = batch[s]
+        acc = 0.0
+        for i in range(n):
+            acc += row[i]
+            prefix[i + 1] = acc
+        for j in range(windows.shape[0]):
+            rough, kurt = _window_moments_from_prefix(prefix, row, int(windows[j]), n)
+            rough_out[s, j] = rough
+            kurt_out[s, j] = kurt
+
+
+@njit(cache=True)
+def _cross_products(arr, max_lag, out):  # pragma: no cover - jitted
+    n = arr.shape[0]
+    for k in range(max_lag + 1):
+        acc = 0.0
+        for i in range(n - k):
+            acc += arr[i] * arr[i + k]
+        out[k] = acc
+
+
+def sma_window_moments_numba(values, window: int) -> tuple[float, float]:
+    """Compiled counterpart of :func:`repro.spectral.convolution.sma_window_moments`.
+
+    Agrees with the numpy kernel to ~1e-12 relative (sequential vs pairwise
+    reduction order); runs as plain Python when numba is unavailable.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    _validate_window(arr.size, window)
+    # Route through the grid kernel so single-window probes and stacked
+    # prefetches share one code path bit for bit (the warm-started search
+    # relies on this when replaying a prefetched trace).
+    rough, kurt = sma_grid_moments_numba(arr, [int(window)])
+    return float(rough[0]), float(kurt[0])
+
+
+def sma_grid_moments_numba(values, windows) -> tuple[np.ndarray, np.ndarray]:
+    """Compiled counterpart of :func:`repro.spectral.convolution.sma_grid_moments`.
+
+    Same shape contract: 1-D input yields ``(len(windows),)`` arrays, 2-D
+    batches yield ``(batch, len(windows))``.  No padded SMA matrix is ever
+    materialized — each (row, window) pair streams over one prefix array.
+    """
+    batch, was_1d = _as_batch(values)
+    batch = np.ascontiguousarray(batch)
+    n_series, n = batch.shape
+    window_arr = _validated_window_grid(n, windows)
+    rough = np.empty((n_series, window_arr.size), dtype=np.float64)
+    kurt = np.empty((n_series, window_arr.size), dtype=np.float64)
+    _grid_moments(batch, window_arr, rough, kurt)
+    if was_1d:
+        return rough[0], kurt[0]
+    return rough, kurt
+
+
+def cross_product_sums_numba(values, max_lag: int) -> np.ndarray:
+    """Compiled counterpart of :func:`repro.spectral.convolution.cross_product_sums`."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    n = arr.size
+    if not 0 <= max_lag < max(n, 1):
+        raise ValueError(f"max_lag must be in [0, {n}), got {max_lag}")
+    out = np.empty(max_lag + 1, dtype=np.float64)
+    _cross_products(arr, int(max_lag), out)
+    return out

@@ -48,6 +48,7 @@ __all__ = [
     "windowed_moment_sums",
     "sma_grid_moments",
     "sma_window_moments",
+    "sma_probe_moments",
     "cross_product_sums",
 ]
 
@@ -292,6 +293,127 @@ def sma_window_moments(values, window: int) -> tuple[float, float]:
     return roughness, kurtosis
 
 
+def sma_probe_moments(values, windows, workspace=None) -> tuple[np.ndarray, np.ndarray]:
+    """Roughness and kurtosis of ``SMA(x, w)`` for a small *probe set* of windows.
+
+    Bit-identical to ``[sma_window_moments(values, w) for w in windows]`` — it
+    builds the same zero-padded length-``n`` smoothed rows (window 1 bypasses
+    the prefix arithmetic exactly as the scalar kernel does) and reduces each
+    with the same final-axis sums — but performs every step as one stacked
+    array operation, so a handful of windows costs one numpy dispatch
+    sequence instead of one per window.  This is the warm-start prefetch
+    kernel of the streaming operator: the previous refresh's probe trace is
+    evaluated in a single call before the search replays over the cache.
+
+    Unlike :func:`sma_grid_moments` it never chunks (probe sets are small by
+    construction) and keeps the whole ``(len(windows), n)`` buffer resident;
+    prefer the grid kernel for large candidate grids.
+
+    Implementation notes on the bit-identity (and the speed):
+
+    * each smoothed row is filled with the *same contiguous slice arithmetic*
+      as the single-window kernel (one cheap dispatch pair per row — never
+      the gather/fancy-index formulation, whose per-element cost would eat
+      the dispatch savings);
+    * the scalar kernel's zero padding beyond each row's valid span is
+      reproduced with explicit small writes — per-row tail zeroing
+      (``window - 1`` elements each) and the single boundary element of each
+      diff row — so every padded buffer holds exactly the scalar kernel's
+      bytes before each reduction, without any full-width mask pass;
+    * two ``(len(windows), n)`` buffers are threaded through every stage with
+      ``out=``.  Callers on a hot path (the streaming operator's warm-start
+      prefetch) can pass *workspace* — a C-contiguous float64 array of shape
+      ``(2, >= len(windows), >= n)`` — to reuse allocations across calls;
+      every cell the reductions read is rewritten first, so stale workspace
+      contents never leak into results.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {arr.shape}")
+    n = arr.size
+    window_arr = _validated_window_grid(n, windows)
+    k = window_arr.size
+    spans = n - window_arr + 1
+    counts = spans.astype(np.float64)
+
+    if (
+        workspace is not None
+        and workspace.dtype == np.float64
+        and workspace.ndim == 3
+        and workspace.shape[0] >= 2
+        and workspace.shape[1] >= k
+        and workspace.shape[2] == n
+        and workspace.flags["C_CONTIGUOUS"]
+    ):
+        smoothed = workspace[0, :k]
+        scratch = workspace[1, :k]
+    else:
+        smoothed = np.empty((k, n), dtype=np.float64)
+        scratch = np.empty((k, n), dtype=np.float64)
+
+    prefix = np.zeros(n + 1, dtype=np.float64)
+    np.cumsum(arr, out=prefix[1:])
+    # Every row's zero tail lives in columns >= the smallest span; one block
+    # write clears them all, and each row's valid slice is written on top.
+    min_span = int(spans.min())
+    smoothed[:, min_span:] = 0.0
+    divisors = window_arr.astype(np.float64)
+    for i, window in enumerate(window_arr):
+        if window == 1:
+            # Window 1 is an exact identity in the scalar kernel; bypass the
+            # prefix arithmetic (whose rounding would differ) for those rows.
+            # Dividing by 1.0 below is bitwise exact, so the row survives the
+            # shared divide untouched.
+            smoothed[i] = arr
+        else:
+            span = int(spans[i])
+            np.subtract(
+                prefix[window : window + span], prefix[:span], out=smoothed[i, :span]
+            )
+    # One broadcast divide replaces a dispatch per row; elementwise division
+    # is shape-independent, and the zero tails stay exactly +0.0.
+    np.divide(smoothed, divisors[:, np.newaxis], out=smoothed)
+
+    means = smoothed.sum(axis=-1) / counts
+    np.subtract(smoothed, means[:, np.newaxis], out=scratch)
+    for i, span in enumerate(spans):
+        scratch[i, span:] = 0.0
+    np.multiply(scratch, scratch, out=scratch)
+    second = scratch.sum(axis=-1) / counts
+    np.multiply(scratch, scratch, out=scratch)
+    fourth = scratch.sum(axis=-1) / counts
+    safe_second = np.where(second > 0.0, second, 1.0)
+    kurtosis = np.where(second > 0.0, fourth / (safe_second * safe_second), 0.0)
+
+    # diff(sma(x, w)) has n - w entries; its population std is the roughness.
+    # The first span-1 positions of each row are the valid diffs.  The
+    # full-width subtraction lands exact zeros beyond them on its own
+    # (0 - 0), except the one boundary element (0 - last smoothed value).
+    diff_counts = np.maximum(counts - 1.0, 1.0)
+    diffs = scratch[:, : max(n - 1, 0)]
+    np.subtract(smoothed[:, 1:], smoothed[:, :-1], out=diffs)
+    for i, span in enumerate(spans):
+        if span <= n - 1:
+            diffs[i, span - 1] = 0.0
+    diff_means = diffs.sum(axis=-1) / diff_counts
+    # Columns below the smallest span are valid diffs in every row: center
+    # them with one broadcast subtract, then finish each row's remainder
+    # (at most the window spread) individually.  Tails past span - 1 hold
+    # exact zeros and must stay untouched for the padded sums to agree.
+    shared = min_span - 1
+    if shared > 0:
+        np.subtract(
+            diffs[:, :shared], diff_means[:, np.newaxis], out=diffs[:, :shared]
+        )
+    for i, span in enumerate(spans):
+        row = diffs[i, shared : span - 1]
+        np.subtract(row, diff_means[i], out=row)
+    np.multiply(diffs, diffs, out=diffs)
+    diff_var = diffs.sum(axis=-1) / diff_counts
+    roughness = np.where(counts >= 2.0, np.sqrt(diff_var), 0.0)
+    return roughness, kurtosis
+
+
 def cross_product_sums(values, max_lag: int) -> np.ndarray:
     """Lagged cross-product sums ``s[k] = sum_i x[i] * x[i + k]``, k = 0..max_lag.
 
@@ -314,7 +436,9 @@ def cross_product_sums(values, max_lag: int) -> np.ndarray:
     return out
 
 
-def sma_grid_moments(values, windows) -> tuple[np.ndarray, np.ndarray]:
+def sma_grid_moments(
+    values, windows, *, storage: str = "float64"
+) -> tuple[np.ndarray, np.ndarray]:
     """Roughness and kurtosis of ``SMA(x, w)`` for a whole grid of windows.
 
     ``values`` is one series ``(n,)`` or a batch ``(batch, n)``; *windows* is
@@ -333,7 +457,18 @@ def sma_grid_moments(values, windows) -> tuple[np.ndarray, np.ndarray]:
     The values it produces are deterministic and independent of how the grid
     or batch is chunked: evaluating a window alone yields bit-identical
     results to evaluating it inside any larger grid.
+
+    ``storage="float32"`` keeps the padded SMA matrix (the kernel's dominant
+    memory traffic) in single precision while accumulating every reduction in
+    float64.  Moments then agree with the float64 path only to ~1e-7 — **not**
+    the repo's 1e-9 discipline — so this is an opt-in lane for memory-bound
+    batch sweeps where window *selection* tolerance is verified empirically
+    (see ``benchmarks/bench_kernels.py``); no serving path uses it.
     """
+    if storage not in ("float64", "float32"):
+        raise ValueError(
+            f"storage must be 'float64' or 'float32', got {storage!r}"
+        )
     batch, was_1d = _as_batch(values)
     n_series, n = batch.shape
     window_arr = _validated_window_grid(n, windows)
@@ -358,7 +493,7 @@ def sma_grid_moments(values, windows) -> tuple[np.ndarray, np.ndarray]:
             w1 = min(w0 + windows_per_chunk, n_windows)
             grid = window_arr[w0:w1]
             rough, kurt = _grid_moments_chunk(
-                batch[s0:s1], chunk_prefix, starts, grid, n
+                batch[s0:s1], chunk_prefix, starts, grid, n, storage
             )
             roughness_out[s0:s1, w0:w1] = rough
             kurtosis_out[s0:s1, w0:w1] = kurt
@@ -369,14 +504,21 @@ def sma_grid_moments(values, windows) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _grid_moments_chunk(
-    rows: np.ndarray, prefix: np.ndarray, starts: np.ndarray, windows: np.ndarray, n: int
+    rows: np.ndarray,
+    prefix: np.ndarray,
+    starts: np.ndarray,
+    windows: np.ndarray,
+    n: int,
+    storage: str = "float64",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Moments of the smoothed series for one (series-chunk, window-chunk).
 
     ``rows`` is the raw ``(b, n)`` chunk, ``prefix`` its ``(b, n+1)`` prefix
     sums; the result arrays are ``(b, len(windows))``.  All reductions run
     over the contiguous final axis, row by row, mirroring the scalar
-    implementations operation for operation.
+    implementations operation for operation.  With ``storage="float32"`` the
+    smoothed buffer is demoted to single precision after the exact fill; the
+    reductions keep float64 accumulators (``dtype=`` on every sum).
     """
     counts = (n - windows + 1).astype(np.float64)  # (w,)
     spans = [int(n - w + 1) for w in windows]
@@ -410,37 +552,43 @@ def _grid_moments_chunk(
         if identity.any():
             smoothed[:, identity, :] = rows[:, np.newaxis, :]
 
+    # Demote the resident buffer only after the exact fill: the fill
+    # arithmetic stays float64, and every reduction below accumulates in
+    # float64 regardless of the buffer dtype.
+    if storage == "float32":
+        smoothed = smoothed.astype(np.float32)
+
     # Row statistics over the padded buffers.  The zero padding contributes
     # nothing to any sum, and the mean subtractions write only the valid
     # spans, so every reduction sees exactly the masked values while touching
     # roughly half the memory a fully masked formulation would.
-    means = smoothed.sum(axis=-1) / counts  # (b, w)
+    means = smoothed.sum(axis=-1, dtype=np.float64) / counts  # (b, w)
     centered = np.zeros_like(smoothed)
     for position, span in enumerate(spans):
         centered[:, position, :span] = (
             smoothed[:, position, :span] - means[:, position, np.newaxis]
         )
     squared = centered * centered
-    second = squared.sum(axis=-1) / counts
-    fourth = (squared * squared).sum(axis=-1) / counts
+    second = squared.sum(axis=-1, dtype=np.float64) / counts
+    fourth = (squared * squared).sum(axis=-1, dtype=np.float64) / counts
     safe_second = np.where(second > 0.0, second, 1.0)
     kurtosis = np.where(second > 0.0, fourth / (safe_second * safe_second), 0.0)
 
     # diff(sma(x, w)) has n - w entries; its population std is the roughness.
     diff_counts = np.maximum(counts - 1.0, 1.0)
-    diffs = np.zeros((smoothed.shape[0], windows.size, n - 1), dtype=np.float64)
+    diffs = np.zeros((smoothed.shape[0], windows.size, n - 1), dtype=smoothed.dtype)
     for position, span in enumerate(spans):
         if span >= 2:
             diffs[:, position, : span - 1] = (
                 smoothed[:, position, 1:span] - smoothed[:, position, : span - 1]
             )
-    diff_means = diffs.sum(axis=-1) / diff_counts
+    diff_means = diffs.sum(axis=-1, dtype=np.float64) / diff_counts
     diff_centered = np.zeros_like(diffs)
     for position, span in enumerate(spans):
         if span >= 2:
             diff_centered[:, position, : span - 1] = (
                 diffs[:, position, : span - 1] - diff_means[:, position, np.newaxis]
             )
-    diff_var = (diff_centered * diff_centered).sum(axis=-1) / diff_counts
+    diff_var = (diff_centered * diff_centered).sum(axis=-1, dtype=np.float64) / diff_counts
     roughness = np.where(counts >= 2.0, np.sqrt(diff_var), 0.0)
     return roughness, kurtosis

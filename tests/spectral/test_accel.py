@@ -1,0 +1,149 @@
+"""Tests for the optional compiled kernel backend (``repro.spectral.accel``).
+
+These tests run in BOTH worlds:
+
+* without numba installed, ``@njit`` is a no-op and the kernels execute as
+  plain Python — slow, so sizes here are small, but numerically identical in
+  structure (same sequential accumulation order);
+* with numba installed (CI's dedicated leg runs this module under
+  ``ASAP_KERNEL=numba``), the same functions run compiled.
+
+Either way the contract is the same: agreement with the numpy kernels to the
+repo's 1e-9 discipline, identical window selection, and graceful fallback of
+the ``EvaluationCache`` backend when numba is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.smoothing import EvaluationCache
+from repro.errors import SpecError
+from repro.spectral import accel
+from repro.spectral.convolution import (
+    cross_product_sums,
+    sma_grid_moments,
+    sma_window_moments,
+)
+
+RTOL = 1e-9
+
+
+def relerr(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.max(np.abs(a - b) / np.maximum(1.0, np.abs(b)))
+
+
+class TestMomentKernels:
+    def test_single_window_agrees_with_numpy(self, rng):
+        values = rng.normal(size=200)
+        for window in (1, 2, 17, 199, 200):
+            rough_a, kurt_a = accel.sma_window_moments_numba(values, window)
+            rough_n, kurt_n = sma_window_moments(values, window)
+            assert relerr(rough_a, rough_n) < RTOL
+            assert relerr(kurt_a, kurt_n) < RTOL
+
+    def test_grid_agrees_with_numpy_1d(self, rng):
+        values = rng.normal(size=150)
+        windows = [1, 2, 5, 12, 60, 150]
+        rough_a, kurt_a = accel.sma_grid_moments_numba(values, windows)
+        rough_n, kurt_n = sma_grid_moments(values, windows)
+        assert rough_a.shape == rough_n.shape == (len(windows),)
+        assert relerr(rough_a, rough_n) < RTOL
+        assert relerr(kurt_a, kurt_n) < RTOL
+
+    def test_grid_agrees_with_numpy_2d(self, rng):
+        batch = rng.normal(size=(4, 90))
+        windows = [2, 9, 30]
+        rough_a, kurt_a = accel.sma_grid_moments_numba(batch, windows)
+        rough_n, kurt_n = sma_grid_moments(batch, windows)
+        assert rough_a.shape == (4, 3)
+        assert relerr(rough_a, rough_n) < RTOL
+        assert relerr(kurt_a, kurt_n) < RTOL
+
+    def test_single_routes_through_grid_kernel(self, rng):
+        # The single-window wrapper must share one code path with the stacked
+        # grid call bit for bit — the warm-started search depends on it.
+        values = rng.normal(size=80)
+        for window in (1, 3, 41, 80):
+            rough_s, kurt_s = accel.sma_window_moments_numba(values, window)
+            rough_g, kurt_g = accel.sma_grid_moments_numba(values, [window])
+            assert rough_s == rough_g[0] and kurt_s == kurt_g[0]
+
+    def test_cross_product_sums_agree(self, rng):
+        values = rng.normal(size=128)
+        out_a = accel.cross_product_sums_numba(values, 32)
+        out_n = cross_product_sums(values, 32)
+        assert relerr(out_a, out_n) < RTOL
+
+    def test_input_validation_matches_numpy_kernels(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            accel.sma_window_moments_numba(rng.normal(size=(2, 5)), 2)
+        with pytest.raises(ValueError, match="1-D"):
+            accel.cross_product_sums_numba(rng.normal(size=(2, 5)), 1)
+        with pytest.raises(ValueError, match="max_lag"):
+            accel.cross_product_sums_numba(rng.normal(size=10), 10)
+        with pytest.raises(Exception):
+            accel.sma_grid_moments_numba(rng.normal(size=10), [11])
+
+
+class TestSelectionEquality:
+    def test_numba_cache_selects_same_window(self, rng):
+        # The decision that matters: a search over the numba backend must pick
+        # the same window as the numpy grid backend.
+        from repro.core.search import run_strategy
+
+        t = np.arange(400, dtype=np.float64)
+        values = np.sin(2 * np.pi * t / 40) + 0.3 * rng.normal(size=400)
+        for strategy in ("asap", "binary", "grid10"):
+            numba_result = run_strategy(
+                strategy, values, None, cache=EvaluationCache(values, kernel="numba")
+            )
+            grid_result = run_strategy(
+                strategy, values, None, cache=EvaluationCache(values, kernel="grid")
+            )
+            assert numba_result.window == grid_result.window, strategy
+
+
+class TestBackendResolution:
+    def test_cache_accepts_numba_kernel(self, rng):
+        cache = EvaluationCache(rng.normal(size=50), kernel="numba")
+        assert cache.kernel == "numba"
+        # The effective backend depends on whether numba is importable.
+        expected = "numba" if accel.HAVE_NUMBA else "grid"
+        assert cache.backend == expected
+
+    def test_cache_rejects_unknown_kernel(self, rng):
+        with pytest.raises(SpecError, match="kernel"):
+            EvaluationCache(rng.normal(size=50), kernel="cuda")
+
+    def test_env_variable_selects_default_kernel(self, rng, monkeypatch):
+        from repro.spec import AsapSpec, default_kernel
+
+        monkeypatch.setenv("ASAP_KERNEL", "numba")
+        assert default_kernel() == "numba"
+        assert AsapSpec().kernel == "numba"
+        cache = EvaluationCache(rng.normal(size=30))
+        assert cache.kernel == "numba"
+        monkeypatch.delenv("ASAP_KERNEL")
+        assert default_kernel() == "grid"
+        assert AsapSpec().kernel == "grid"
+
+    def test_njit_stub_when_numba_missing(self):
+        # Whichever world we're in, the decorator must leave the kernels
+        # callable as functions.
+        assert callable(accel._grid_moments)
+        assert callable(accel._window_moments_from_prefix)
+        if not accel.HAVE_NUMBA:
+            # The stub must support both bare and parametrized usage.
+            @accel.njit
+            def f(x):
+                return x + 1
+
+            @accel.njit(cache=True)
+            def g(x):
+                return x + 2
+
+            assert f(1) == 2 and g(1) == 3

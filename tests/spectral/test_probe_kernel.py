@@ -1,0 +1,114 @@
+"""Tests for the warm-start probe kernel (``sma_probe_moments``).
+
+The contract is stricter than the 1e-9 discipline used elsewhere: the stacked
+probe kernel must be **bit-identical** to ``sma_window_moments`` applied one
+window at a time, because the streaming operator's warm-started search seeds
+its evaluation cache from prefetched probes and the search must make exactly
+the decisions a cold search would make.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral.convolution import sma_probe_moments, sma_window_moments
+
+
+def bits(x) -> bytes:
+    """Raw float64 bytes — an equality that distinguishes nothing less than
+    bit patterns (and treats identical NaNs as equal, unlike ``==``)."""
+    return np.asarray(x, dtype=np.float64).tobytes()
+
+
+def assert_probe_matches_singles(values, windows):
+    rough, kurt = sma_probe_moments(values, windows)
+    assert rough.shape == kurt.shape == (len(windows),)
+    for i, window in enumerate(windows):
+        rough_s, kurt_s = sma_window_moments(values, window)
+        assert bits(rough_s) == bits(rough[i]), f"roughness differs at window {window}"
+        assert bits(kurt_s) == bits(kurt[i]), f"kurtosis differs at window {window}"
+
+
+class TestBitIdentity:
+    def test_random_series_full_window_sweep(self, rng):
+        values = rng.normal(size=257)
+        windows = list(range(1, 258))
+        assert_probe_matches_singles(values, windows)
+
+    def test_edge_windows(self, rng):
+        values = rng.normal(size=64)
+        assert_probe_matches_singles(values, [1, 2, 3, 62, 63, 64])
+
+    def test_window_one_identity_bypass(self, rng):
+        # Window 1 short-circuits the prefix arithmetic in the scalar kernel;
+        # the stacked kernel must reproduce that bypass, not approximate it.
+        values = rng.normal(size=50) * 1e6 + 3.7
+        assert_probe_matches_singles(values, [1])
+
+    def test_pathological_series(self):
+        for values in (
+            np.zeros(40),
+            np.full(40, 123.456),
+            np.arange(40, dtype=np.float64),
+            np.array([1.0]),
+            np.array([2.0, -2.0]),
+        ):
+            n = values.size
+            windows = sorted({1, 2, n - 1, n} & set(range(1, n + 1)))
+            assert_probe_matches_singles(values, windows)
+
+    def test_workspace_reuse_is_invisible(self, rng):
+        # A poisoned workspace must not leak into results: every cell the
+        # reductions read is rewritten first.
+        values = rng.normal(size=120)
+        windows = [2, 7, 30, 119]
+        fresh = sma_probe_moments(values, windows)
+        poisoned = np.full((2, 8, 120), np.nan)
+        reused = sma_probe_moments(values, windows, workspace=poisoned)
+        assert bits(fresh[0]) == bits(reused[0])
+        assert bits(fresh[1]) == bits(reused[1])
+        # And back-to-back calls through the same workspace stay identical.
+        again = sma_probe_moments(values, windows, workspace=poisoned)
+        assert bits(fresh[0]) == bits(again[0])
+        assert bits(fresh[1]) == bits(again[1])
+
+    def test_undersized_workspace_falls_back(self, rng):
+        values = rng.normal(size=60)
+        windows = [2, 5, 9]
+        small = np.empty((2, 1, 60))  # too few rows
+        wrong_n = np.empty((2, 8, 61))  # wrong width
+        for workspace in (small, wrong_n):
+            rough, kurt = sma_probe_moments(values, windows, workspace=workspace)
+            assert_probe_matches_singles(values, windows)
+            fresh = sma_probe_moments(values, windows)
+            assert bits(fresh[0]) == bits(rough)
+            assert bits(fresh[1]) == bits(kurt)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(min_value=2, max_value=160),
+        scale=st.sampled_from([1e-6, 1.0, 1e6]),
+    )
+    def test_property_random_probe_sets(self, seed, n, scale):
+        probe_rng = np.random.default_rng(seed)
+        values = probe_rng.normal(size=n) * scale
+        count = int(probe_rng.integers(1, min(n, 12) + 1))
+        windows = sorted(set(probe_rng.integers(1, n + 1, size=count).tolist()))
+        assert_probe_matches_singles(values, windows)
+
+
+class TestValidation:
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            sma_probe_moments(rng.normal(size=(3, 10)), [2])
+
+    def test_rejects_out_of_range_window(self, rng):
+        values = rng.normal(size=10)
+        with pytest.raises(Exception):
+            sma_probe_moments(values, [11])
+        with pytest.raises(Exception):
+            sma_probe_moments(values, [0])

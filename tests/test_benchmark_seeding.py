@@ -1,0 +1,59 @@
+"""Every benchmark must seed its randomness explicitly.
+
+The perf ratchet compares speedups across CI runs; an unseeded benchmark
+would measure a different workload every run and turn the trajectory into
+noise.  This pins the audited state: no bare ``default_rng()``, no legacy
+``np.random.*`` global-state calls, no stdlib ``random`` module, and every
+CLI benchmark (the argparse-driven ones feeding ``BENCH_*.json``) exposes
+``--seed`` with a fixed default.  The ``bench_fig*``/``bench_table*``
+paper-reproduction benchmarks run under pytest-benchmark on fixed datasets,
+so the flag requirement does not apply to them — but the no-unseeded-RNG
+rules still do.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = sorted((Path(__file__).parent.parent / "benchmarks").glob("bench_*.py"))
+CLI_BENCHMARKS = [path for path in BENCHMARKS if "import argparse" in path.read_text()]
+
+UNSEEDED_PATTERNS = [
+    # A Generator with no seed derives one from OS entropy — different
+    # workload every run.
+    (r"default_rng\(\s*\)", "unseeded np.random.default_rng()"),
+    # Legacy global-state API: seedable in principle, but the seed is
+    # process-wide and any import-order change silently reshuffles it.
+    (
+        r"np\.random\.(seed|rand|randn|randint|random|normal|uniform|choice|"
+        r"shuffle|permutation)\b",
+        "legacy np.random global-state call",
+    ),
+    (r"^\s*(import random\b|from random import)", "stdlib random module"),
+]
+
+
+def test_benchmarks_exist():
+    assert len(BENCHMARKS) >= 5
+    assert len(CLI_BENCHMARKS) >= 5
+
+
+@pytest.mark.parametrize("path", BENCHMARKS, ids=lambda p: p.name)
+def test_benchmark_randomness_is_seeded(path):
+    source = path.read_text()
+    violations = []
+    for pattern, label in UNSEEDED_PATTERNS:
+        for match in re.finditer(pattern, source, flags=re.MULTILINE):
+            line = source.count("\n", 0, match.start()) + 1
+            violations.append(f"{path.name}:{line}: {label} ({match.group(0)!r})")
+    assert not violations, "\n".join(violations)
+
+
+@pytest.mark.parametrize("path", CLI_BENCHMARKS, ids=lambda p: p.name)
+def test_benchmark_exposes_seed_flag(path):
+    # Each CLI benchmark's workload must be reproducible from the command line.
+    source = path.read_text()
+    assert '"--seed"' in source, f"{path.name} has no --seed argument"
