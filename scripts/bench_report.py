@@ -35,10 +35,12 @@ SPEEDUP_KEYS = {
     "pyramid": "speedup_vs_noagg",
     "cluster": "speedup_vs_one_shard",
     "kernels": "speedup",
+    "messy": "speedup",
 }
 
 EXTRA_NOTES = {
     "kernels": lambda p: f"fallbacks {p.get('fallback_rate', 0.0):.1%}",
+    "messy": lambda p: f"{p.get('gaps_filled', 0)} gap points filled",
     "pyramid": lambda p: f"{p.get('view_cache_hits', 0)} view-cache hits",
     "cluster": lambda p: f"{p.get('params', {}).get('shards', '?')} shards",
 }
@@ -63,8 +65,24 @@ def collect_reports(paths: list[str]) -> list[dict]:
             print(f"ERROR: {file} is not a benchmark payload", file=sys.stderr)
             sys.exit(2)
         payload["_source"] = str(file)
+        payload["_mtime"] = file.stat().st_mtime
         reports.append(payload)
-    return reports
+    # Matrix CI legs can upload the same benchmark more than once (e.g. one
+    # smoke payload per Python version).  The newest file wins, so one stale
+    # or smoke duplicate can't mask — or fail — the current full run.
+    newest: dict[str, dict] = {}
+    for payload in reports:
+        name = payload["benchmark"]
+        if name in newest:
+            older = min(newest[name], payload, key=lambda p: p["_mtime"])
+            print(
+                f"note: duplicate reports for {name!r}; keeping newest, "
+                f"ignoring {older['_source']}",
+                file=sys.stderr,
+            )
+        if name not in newest or payload["_mtime"] > newest[name]["_mtime"]:
+            newest[name] = payload
+    return list(newest.values())
 
 
 def identity_block(payload: dict) -> dict:

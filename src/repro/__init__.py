@@ -41,6 +41,8 @@ Packages:
   hashing, process shards, live rebalancing, crash recovery);
 * :mod:`repro.persist` — durable checkpoint/restore of serving state
   (bit-identical resumption, no pickle);
+* :mod:`repro.quality` — data-quality normalization (gap/NaN policies,
+  watermarked reordering, per-window completeness);
 * :mod:`repro.timeseries` — series container, statistics, dataset
   reconstructions;
 * :mod:`repro.spectral` — FFT, moving-average kernels, alternative filters;
@@ -63,14 +65,15 @@ from .core import (
 from .client import Client, StreamHandle, connect
 from .cluster import ShardedHub
 from .engine import BatchEngine, BatchResult, smooth_many
-from .errors import SpecError
+from .errors import DataQualityError, SpecError
 from .persist import checkpoint, restore
 from .pyramid import Pyramid, PyramidView, ViewSpec
+from .quality import FrameQuality, normalize_series
 from .service import StreamConfig, StreamHub
 from .spec import AsapSpec
 from .timeseries import TimeSeries
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ASAP",
@@ -79,7 +82,9 @@ __all__ = [
     "BatchResult",
     "Client",
     "DEFAULT_RESOLUTION",
+    "DataQualityError",
     "Frame",
+    "FrameQuality",
     "Pyramid",
     "PyramidView",
     "SearchResult",
@@ -95,6 +100,7 @@ __all__ = [
     "checkpoint",
     "connect",
     "find_window",
+    "normalize_series",
     "restore",
     "smooth",
     "smooth_many",

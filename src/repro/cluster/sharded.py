@@ -36,6 +36,7 @@ import numpy as np
 from .. import persist
 from ..core.search import SearchResult
 from ..core.streaming import Frame
+from ..quality import FrameQuality
 from ..persist.checkpoint import _read_state
 from ..persist.codec import CheckpointError
 from ..service import HubStats, StreamConfig, UnknownStreamError
@@ -59,6 +60,7 @@ def _frame_state(frame: Frame) -> dict:
         "search": dataclasses.asdict(frame.search),
         "refresh_index": frame.refresh_index,
         "points_ingested": frame.points_ingested,
+        "quality": dataclasses.asdict(frame.quality),
     }
 
 
@@ -69,6 +71,7 @@ def _frame_from_state(state: dict) -> Frame:
         search=SearchResult(**state["search"]),
         refresh_index=int(state["refresh_index"]),
         points_ingested=int(state["points_ingested"]),
+        quality=FrameQuality(**state["quality"]),
     )
 
 
@@ -487,6 +490,10 @@ class ShardedHub:
             sessions_exported=sum(s.sessions_exported for s in per_shard),
             warm_prefetches=sum(s.warm_prefetches for s in per_shard),
             warm_fallbacks=sum(s.warm_fallbacks for s in per_shard),
+            gaps_filled=sum(s.gaps_filled for s in per_shard),
+            nan_dropped=sum(s.nan_dropped for s in per_shard),
+            late_accepted=sum(s.late_accepted for s in per_shard),
+            late_dropped=sum(s.late_dropped for s in per_shard),
         )
 
     def _fan_out(self, command: str, payload) -> list[tuple[str, object]]:

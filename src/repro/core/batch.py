@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DataQualityError
+from ..quality.normalize import normalize_series
 from ..spec import DEFAULT_RESOLUTION, AsapSpec, resolve_spec, spec_backed
 from ..timeseries.series import TimeSeries
 from .acf import ACFAnalysis
@@ -41,6 +43,39 @@ def _coerce_series(data) -> TimeSeries:
     if isinstance(data, TimeSeries):
         return data
     return TimeSeries(np.asarray(data, dtype=np.float64))
+
+
+def _input_series(data, spec: AsapSpec) -> TimeSeries:
+    """Coerce the batch input, applying the spec's quality stage if enabled.
+
+    With ``spec.normalize`` off (the default) this is exactly
+    :func:`_coerce_series`.  On, the *raw* values and timestamps run through
+    :func:`repro.quality.normalize_series` with the spec's cadence and gap
+    policy first — before :class:`TimeSeries` construction, because NaN
+    dropping is part of the stage and ``TimeSeries`` rejects non-finite
+    values.  Dense regular input returns the same arrays (normalize's no-op
+    guarantee), so the coerced series is value-identical and the smoothing
+    output bit-identical.  The ``"split"`` policy yields multiple disjoint
+    segments — one smooth over them is not well defined, so it is rejected
+    here with a pointer to the explicit per-segment path.
+    """
+    if not spec.normalize:
+        return _coerce_series(data)
+    if spec.gap_policy == "split":
+        raise DataQualityError(
+            "gap_policy='split' yields disjoint segments, which a single "
+            "smooth/find_window pass cannot represent; call "
+            "repro.quality.normalize_series directly and smooth each "
+            "segment, or use 'interpolate'/'ffill'"
+        )
+    if isinstance(data, TimeSeries):
+        raw_vs, raw_ts, name = data.values, data.timestamps, data.name
+    else:
+        raw_vs, raw_ts, name = np.asarray(data, dtype=np.float64), None, None
+    norm = normalize_series(raw_vs, raw_ts, cadence=spec.cadence, gap_policy=spec.gap_policy)
+    if norm.values is raw_vs and (raw_ts is None or norm.timestamps is raw_ts):
+        return _coerce_series(data)  # dense no-op: keep the caller's arrays
+    return TimeSeries(norm.values, norm.timestamps, name=name)
 
 
 def _prepare(
@@ -99,7 +134,7 @@ def find_window(
         use_preaggregation=use_preaggregation,
         kernel=kernel,
     )
-    series = _coerce_series(data)
+    series = _input_series(data, spec)
     values, ratio, cache = _prepare(series, spec, cache)
     result = run_strategy(spec.strategy, values, spec.max_window, cache=cache, acf=acf)
     return result, ratio
@@ -171,7 +206,7 @@ def smooth(
         use_preaggregation=use_preaggregation,
         kernel=kernel,
     )
-    series = _coerce_series(data)
+    series = _input_series(data, spec)
     searched_values, ratio, cache = _prepare(series, spec, cache)
 
     search = run_strategy(spec.strategy, searched_values, spec.max_window, cache=cache, acf=acf)

@@ -45,6 +45,7 @@ import numpy as np
 
 from ..errors import IncrementalDriftError, SpecError
 from ..pyramid.rollup import Pyramid
+from ..quality import FrameQuality, ReorderBuffer, StreamNormalizer
 from ..pyramid.view import PyramidView, ViewSpec
 from ..spectral import accel
 from ..spectral.convolution import cross_product_sums, sma_probe_moments
@@ -111,13 +112,19 @@ _EXACT_FALLBACK_RATIO = 1e6
 
 @dataclass(frozen=True)
 class Frame:
-    """One rendered refresh: the smoothed window ready for display."""
+    """One rendered refresh: the smoothed window ready for display.
+
+    ``quality`` reports per-window data quality (completeness, fill and
+    late-data counters); it is the all-clean default whenever the quality
+    stage is disabled, so dense-path frames are unchanged.
+    """
 
     series: TimeSeries
     window: int
     search: SearchResult
     refresh_index: int
     points_ingested: int
+    quality: FrameQuality = FrameQuality()
 
 
 class RollingWindowState:
@@ -614,6 +621,23 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         :class:`~repro.core.smoothing.EvaluationCache`).  ``None`` resolves
         through :func:`repro.spec.default_kernel` at each refresh, honoring
         the ``ASAP_KERNEL`` environment variable.
+    watermark:
+        Depth (in points) of a :class:`~repro.quality.ReorderBuffer` placed
+        in front of the pane buffer.  Late arrivals within the watermark are
+        reordered into their correct pane (counted as
+        :attr:`late_accepted`); arrivals older than the newest released
+        point are counted-and-dropped (:attr:`late_dropped`), never
+        corrupting rolling state.  0 (the default) disables reordering —
+        arrivals bucket in arrival order exactly as before.
+    normalize:
+        Enable the stateful quality stage
+        (:class:`~repro.quality.StreamNormalizer`): non-finite values are
+        dropped and counted, cadence gaps are handled per ``gap_policy``,
+        and every frame reports per-window completeness.  On dense, ordered,
+        regular input the stage is a bit-identical no-op.
+    cadence / gap_policy:
+        Gap detection parameters for ``normalize=True``; see
+        :func:`repro.quality.normalize_series`.
     """
 
     def __init__(
@@ -631,6 +655,10 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         pyramid: Pyramid | bool | None = None,
         warm_start: bool = True,
         kernel: str | None = None,
+        watermark: int = 0,
+        normalize: bool = False,
+        cadence: float | None = None,
+        gap_policy: str = "interpolate",
     ) -> None:
         if refresh_interval < 1:
             raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
@@ -638,6 +666,16 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             raise ValueError(f"recompute_every must be >= 1, got {recompute_every}")
         if kernel is not None and kernel not in ("grid", "scalar", "numba"):
             raise SpecError(f"kernel must be 'grid', 'scalar', or 'numba', got {kernel!r}")
+        if watermark < 0:
+            raise ValueError(f"watermark must be >= 0, got {watermark}")
+        self.watermark = int(watermark)
+        self.normalize = bool(normalize)
+        self.cadence = None if cadence is None else float(cadence)
+        self.gap_policy = gap_policy
+        self._reorder = ReorderBuffer(watermark) if watermark > 0 else None
+        self._normalizer = (
+            StreamNormalizer(cadence=cadence, gap_policy=gap_policy) if normalize else None
+        )
         self.incremental = bool(incremental or verify_incremental)
         self.recompute_every = recompute_every
         self.verify_incremental = verify_incremental
@@ -656,6 +694,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             capacity=resolution,
             journal=self.incremental or pyramid is not None,
             keep_sketches=keep_pane_sketches,
+            track_quality=self.normalize,
         )
         self.refresh_interval = refresh_interval
         self.strategy = strategy
@@ -716,6 +755,10 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             pyramid=spec.pyramid,
             warm_start=spec.warm_start,
             kernel=spec.kernel,
+            watermark=spec.watermark,
+            normalize=spec.normalize,
+            cadence=spec.cadence,
+            gap_policy=spec.gap_policy,
         )
 
     @staticmethod
@@ -774,6 +817,46 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         speedup, not lost accuracy."""
         return self._warm_fallbacks
 
+    # -- data-quality counters (0 whenever the quality stage is off) -----------
+
+    @property
+    def gaps_filled(self) -> int:
+        """Synthetic points emitted by the normalizer across the stream."""
+        return self._normalizer.gaps_filled if self._normalizer is not None else 0
+
+    @property
+    def nan_dropped(self) -> int:
+        """Non-finite arrivals filtered out by the normalizer."""
+        return self._normalizer.nan_dropped if self._normalizer is not None else 0
+
+    @property
+    def late_accepted(self) -> int:
+        """Out-of-order arrivals placed correctly within the watermark."""
+        return self._reorder.late_accepted if self._reorder is not None else 0
+
+    @property
+    def late_dropped(self) -> int:
+        """Arrivals beyond the watermark, counted-and-dropped."""
+        return self._reorder.late_dropped if self._reorder is not None else 0
+
+    @property
+    def window_completeness(self) -> float:
+        """Fraction of the current aggregated window built from observed
+        (non-synthetic) points; 1.0 whenever normalization is off."""
+        return self._buffer.window_completeness
+
+    def _frame_quality(self) -> FrameQuality:
+        if self._normalizer is None and self._reorder is None:
+            return FrameQuality()
+        return FrameQuality(
+            completeness=self._buffer.window_completeness,
+            synthetic_in_window=self._buffer.window_synthetic_points,
+            gaps_filled=self.gaps_filled,
+            nan_dropped=self.nan_dropped,
+            late_accepted=self.late_accepted,
+            late_dropped=self.late_dropped,
+        )
+
     # -- serving-layer accessors (used by repro.service.StreamHub) ------------
 
     @property
@@ -823,6 +906,11 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
 
     def push(self, item: StreamPoint):
         """Ingest one arrival; yields a :class:`Frame` on refresh boundaries."""
+        if self._reorder is not None or self._normalizer is not None:
+            # Quality stages are batch-shaped; route the point through the
+            # same pipeline so per-point and batched ingestion stay
+            # bit-identical (the boundary loop splits at the same states).
+            return tuple(self.push_many([item.timestamp], [item.value]))
         frames: list[Frame] = []
         self._run_due_refresh(frames)
         completed = self._buffer.push(item.timestamp, item.value)
@@ -846,11 +934,28 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         :attr:`refresh_due` instead of refreshing, so a serving layer can
         coalesce the refresh with other streams (the deferred refresh runs
         before any further data is folded, preserving per-point semantics).
+
+        With a ``watermark`` the batch first passes through the reordering
+        buffer (only released points are folded); with ``normalize=True`` the
+        released points then pass through the normalizer (which may drop
+        non-finite values and synthesize gap fills).  Both stages are
+        prefix-deterministic over the released sequence, so batching
+        granularity never changes the frames.
         """
         frames: list[Frame] = []
         self._run_due_refresh(frames)
         ts = np.asarray(timestamps, dtype=np.float64)
         vs = np.asarray(values, dtype=np.float64)
+        synth = None
+        if self._reorder is not None:
+            ts, vs = self._reorder.push_many(ts, vs)
+        if self._normalizer is not None:
+            ts, vs, synth = self._normalizer.process(ts, vs)
+        self._fold(ts, vs, synth, frames, defer_boundary=defer_boundary)
+        return frames
+
+    def _fold(self, ts, vs, synth, frames: list[Frame], defer_boundary: bool = False) -> None:
+        """The boundary loop: fold normalized points, refreshing on interval."""
         i = 0
         n = vs.size
         while i < n:
@@ -860,7 +965,11 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
                 pane_size - self._buffer.open_pane_points + (panes_needed - 1) * pane_size
             )
             take = min(points_to_boundary, n - i)
-            self._panes_since_refresh += self._buffer.extend(ts[i : i + take], vs[i : i + take])
+            self._panes_since_refresh += self._buffer.extend(
+                ts[i : i + take],
+                vs[i : i + take],
+                synthetic=None if synth is None else synth[i : i + take],
+            )
             i += take
             if self._panes_since_refresh >= self.refresh_interval:
                 self._panes_since_refresh = 0
@@ -870,7 +979,6 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
                     frame = self._refresh()
                     if frame is not None:
                         frames.append(frame)
-        return frames
 
     def refresh_if_due(self, cache: EvaluationCache | None = None) -> Frame | None:
         """Run a refresh deferred by ``push_many(..., defer_boundary=True)``.
@@ -885,9 +993,20 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         return self._refresh(cache=cache)
 
     def flush(self):
-        """Emit one final frame for any aggregates since the last refresh."""
+        """Emit one final frame for any aggregates since the last refresh.
+
+        With a ``watermark``, the reordering buffer is drained first (its
+        held points fold in sorted order, possibly crossing refresh
+        boundaries), so no data is stranded behind the watermark.
+        """
         frames: list[Frame] = []
         self._run_due_refresh(frames)
+        if self._reorder is not None and len(self._reorder) > 0:
+            ts, vs = self._reorder.drain()
+            synth = None
+            if self._normalizer is not None:
+                ts, vs, synth = self._normalizer.process(ts, vs)
+            self._fold(ts, vs, synth, frames)
         if self._panes_since_refresh > 0:
             self._panes_since_refresh = 0
             frame = self._refresh()
@@ -902,6 +1021,10 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             self._rolling.clear()
         if self.pyramid is not None:
             self.pyramid.clear()
+        if self._reorder is not None:
+            self._reorder.clear()
+        if self._normalizer is not None:
+            self._normalizer.clear()
         self._panes_since_refresh = 0
         self._previous_window = None
         self._warm_trace = None
@@ -934,6 +1057,14 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             "keep_pane_sketches": self._buffer.keep_sketches,
             "warm_start": self.warm_start,
             "kernel": self.kernel,
+            "watermark": self.watermark,
+            "normalize": self.normalize,
+            "cadence": self.cadence,
+            "gap_policy": self.gap_policy,
+            "reorder": None if self._reorder is None else self._reorder.state_dict(),
+            "normalizer": (
+                None if self._normalizer is None else self._normalizer.state_dict()
+            ),
             "panes_since_refresh": self._panes_since_refresh,
             "previous_window": self._previous_window,
             "warm_trace": None if self._warm_trace is None else list(self._warm_trace),
@@ -968,6 +1099,18 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             pyramid=False,
             warm_start=bool(state["warm_start"]),
             kernel=None if state["kernel"] is None else str(state["kernel"]),
+            watermark=int(state["watermark"]),
+            normalize=bool(state["normalize"]),
+            cadence=None if state["cadence"] is None else float(state["cadence"]),
+            gap_policy=str(state["gap_policy"]),
+        )
+        operator._reorder = (
+            None if state["reorder"] is None else ReorderBuffer.from_state(state["reorder"])
+        )
+        operator._normalizer = (
+            None
+            if state["normalizer"] is None
+            else StreamNormalizer.from_state(state["normalizer"])
         )
         operator._buffer = PaneBuffer.from_state(state["buffer"])
         operator._rolling = (
@@ -1172,4 +1315,5 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             search=search,
             refresh_index=self._refresh_count - 1,
             points_ingested=self._buffer.total_points,
+            quality=self._frame_quality(),
         )

@@ -11,7 +11,8 @@ them without import cycles.
 Hierarchy::
 
     ValueError
-      └── SpecError            — a configuration field failed validation
+      ├── SpecError            — a configuration field failed validation
+      └── DataQualityError     — the data itself broke a quality contract
     RuntimeError
       ├── HubError             — StreamHub serving failures
       │     ├── HubAtCapacityError
@@ -32,6 +33,7 @@ from __future__ import annotations
 
 __all__ = [
     "SpecError",
+    "DataQualityError",
     "HubError",
     "HubAtCapacityError",
     "UnknownStreamError",
@@ -51,6 +53,16 @@ class SpecError(ValueError):
     point that builds its configuration through the spec: ``smooth``,
     ``find_window``, ``ASAP``, ``BatchEngine``, ``StreamConfig``,
     ``connect``).  The message always names the offending field.
+    """
+
+
+class DataQualityError(ValueError):
+    """The data itself broke a quality contract (not the configuration).
+
+    Raised by :mod:`repro.quality` when a cadence cannot be inferred, a gap
+    appears under ``gap_policy="reject"``, or a fill would exceed the
+    per-gap synthesis bound.  A ``ValueError`` because the offending input
+    is an argument, even when it arrives point by point.
     """
 
 

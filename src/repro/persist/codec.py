@@ -47,7 +47,11 @@ __all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"
 #: ``kernel``, the warm probe trace (``warm_trace``), and the
 #: ``warm_prefetches``/``warm_fallbacks`` counters — required keys that
 #: version-2 readers would fail on (and version-2 payloads lack).
-SCHEMA_VERSION = 3
+#: Version 4: specs gain the data-quality knobs (``normalize``, ``cadence``,
+#: ``gap_policy``, ``watermark``); operator state gains those fields plus the
+#: ``reorder``/``normalizer`` stage states; pane-buffer state gains
+#: ``track_quality``/``synth``/``open_synth``; frame state gains ``quality``.
+SCHEMA_VERSION = 4
 
 #: Marker key replacing numpy arrays in the JSON manifest tree.
 _ARRAY_MARKER = "__npz__"

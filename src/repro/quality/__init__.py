@@ -1,0 +1,51 @@
+"""repro.quality — gap/NaN normalization and late-data handling for messy streams.
+
+ASAP's premise is smoothing *streaming telemetry* (Section 1), but the core
+pipeline assumes dense, ordered, regular samples — real telemetry has NaN
+holes, cadence gaps, irregular timestamps, and late/out-of-order arrivals.
+This package is the one normalization stage every tier consumes through
+:class:`~repro.spec.AsapSpec`:
+
+* :func:`normalize_series` / :func:`regrid` / :func:`infer_cadence` — batch
+  normalization: NaN filtering, gap detection against a declared or inferred
+  cadence, configurable fill policies (:data:`GAP_POLICIES`), and
+  time-weighted bucketing of irregular timestamps onto a regular grid;
+* :class:`StreamNormalizer` — the stateful streaming counterpart, applied
+  inside ``StreamingASAP.push_many`` batch by batch;
+* :class:`ReorderBuffer` — a bounded reordering buffer with watermark
+  semantics: late points within the watermark land in their correct position,
+  points beyond it are counted-and-dropped, never corrupting rolling state;
+* :class:`FrameQuality` — the per-window data-quality report attached to
+  every emitted :class:`~repro.core.streaming.Frame`.
+
+The equivalence bar (pinned by ``tests/quality`` and
+``benchmarks/bench_messy.py``): on dense, ordered, regular input the whole
+stage is a **bit-identical no-op** at every tier, and normalized-then-smoothed
+frames are bit-identical whether points arrive in order or shuffled within
+the watermark.
+"""
+
+from __future__ import annotations
+
+from .normalize import (
+    DEFAULT_GAP_FACTOR,
+    GAP_POLICIES,
+    FrameQuality,
+    NormalizedSeries,
+    infer_cadence,
+    normalize_series,
+    regrid,
+)
+from .stream import ReorderBuffer, StreamNormalizer
+
+__all__ = [
+    "DEFAULT_GAP_FACTOR",
+    "GAP_POLICIES",
+    "FrameQuality",
+    "NormalizedSeries",
+    "ReorderBuffer",
+    "StreamNormalizer",
+    "infer_cadence",
+    "normalize_series",
+    "regrid",
+]

@@ -1,0 +1,280 @@
+"""Batch normalization: NaN filtering, gap filling, and grid bucketing.
+
+The batch half of :mod:`repro.quality`.  Everything here is pure-function
+array work; the stateful streaming counterpart (:class:`~repro.quality.stream.
+StreamNormalizer`) applies the same policies batch by batch.
+
+Design rule — **dense input is a bit-identical no-op**: when the samples are
+finite, ordered, and land exactly one cadence apart, :func:`normalize_series`
+and :func:`regrid` return the caller's arrays untouched (no copy, no
+re-rounding), so enabling normalization on clean data cannot perturb a single
+bit downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataQualityError
+
+__all__ = [
+    "DEFAULT_GAP_FACTOR",
+    "GAP_POLICIES",
+    "FrameQuality",
+    "NormalizedSeries",
+    "infer_cadence",
+    "normalize_series",
+    "regrid",
+]
+
+#: Valid gap-fill policies (the :class:`~repro.spec.AsapSpec` ``gap_policy``
+#: field validates against this tuple).
+GAP_POLICIES = ("interpolate", "ffill", "split", "reject")
+
+#: A spacing wider than this many cadences is a gap (1.5 tolerates jitter up
+#: to half a cadence while catching every true missing slot).
+DEFAULT_GAP_FACTOR = 1.5
+
+#: Refuse to synthesize more than this many fill points per gap: a sensor
+#: that was offline for a month should surface as a ``split``/``reject``
+#: decision (or a declared coarser cadence), not a silent memory blowup.
+MAX_FILL_PER_GAP = 100_000
+
+
+@dataclass(frozen=True)
+class FrameQuality:
+    """Per-window data-quality report attached to every emitted frame.
+
+    ``completeness`` is the fraction of the aggregated window built from
+    *observed* points (1.0 means no synthetic fill in the window); the
+    counters are stream-lifetime totals at the moment the frame was emitted.
+    The default instance — all-clean — is what frames carry when the quality
+    stage is disabled, so dense-path frames are unchanged.
+    """
+
+    completeness: float = 1.0
+    synthetic_in_window: int = 0
+    gaps_filled: int = 0
+    nan_dropped: int = 0
+    late_accepted: int = 0
+    late_dropped: int = 0
+
+
+@dataclass(frozen=True)
+class NormalizedSeries:
+    """:func:`normalize_series` output: regular arrays plus the quality ledger.
+
+    ``synthetic`` marks fill points (False everywhere for observed samples);
+    ``segments`` lists contiguous ``(start, stop)`` index runs — one segment
+    for the filling policies, one per gap-free run under ``"split"``.
+    """
+
+    values: np.ndarray
+    timestamps: np.ndarray
+    synthetic: np.ndarray
+    cadence: float
+    completeness: float
+    gaps_filled: int
+    nan_dropped: int
+    segments: tuple[tuple[int, int], ...]
+
+
+def infer_cadence(timestamps) -> float:
+    """The series' sampling interval: the median of its positive spacings.
+
+    The median is robust to both gaps (a few oversized spacings) and
+    duplicate timestamps (zero spacings are excluded); a series with no
+    positive spacing has no inferable cadence and raises
+    :class:`~repro.errors.DataQualityError`.
+    """
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if ts.ndim != 1:
+        raise DataQualityError(f"timestamps must be 1-D, got shape {ts.shape}")
+    diffs = np.diff(np.sort(ts))
+    positive = diffs[diffs > 0.0]
+    if positive.size == 0:
+        raise DataQualityError("cannot infer a cadence: need at least two distinct timestamps")
+    return float(np.median(positive))
+
+
+def _require_policy(gap_policy: str) -> str:
+    if gap_policy not in GAP_POLICIES:
+        raise DataQualityError(
+            f"gap_policy must be one of {', '.join(GAP_POLICIES)}; got {gap_policy!r}"
+        )
+    return gap_policy
+
+
+def _segments_from_present(present: np.ndarray) -> tuple[tuple[int, int], ...]:
+    """Contiguous index runs of a sorted slot array, as (start, stop) pairs."""
+    if present.size == 0:
+        return ()
+    breaks = np.flatnonzero(np.diff(present) > 1) + 1
+    starts = np.concatenate(([0], breaks))
+    stops = np.concatenate((breaks, [present.size]))
+    return tuple((int(a), int(b)) for a, b in zip(starts, stops))
+
+
+def regrid(values, timestamps, cadence: float | None = None):
+    """Time-weighted bucketing of irregular samples onto a regular grid.
+
+    Each sample lands in the grid slot nearest its timestamp; samples sharing
+    a slot are merged by a time-weighted mean (weight ``1 - |t - slot| /
+    cadence``, so a sample dead-center counts double one half-a-cadence off).
+    Returns ``(values, timestamps, present_slots)`` where ``timestamps`` are
+    exact grid points and ``present_slots`` the occupied slot indices —
+    missing slots are *not* filled (that is :func:`normalize_series`'s job).
+
+    Exactly-regular input is returned untouched (same array objects), so the
+    grid pass is a bit-identical no-op on clean data.
+    """
+    vs = np.asarray(values, dtype=np.float64)
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if vs.shape != ts.shape or vs.ndim != 1:
+        raise DataQualityError(
+            f"values and timestamps must be equal-length 1-D, got {vs.shape} and {ts.shape}"
+        )
+    if vs.size == 0:
+        return vs, ts, np.empty(0, dtype=np.int64)
+    order = np.argsort(ts, kind="stable")
+    if not np.array_equal(order, np.arange(ts.size)):
+        ts = ts[order]
+        vs = vs[order]
+    step = float(cadence) if cadence is not None else infer_cadence(ts)
+    if step <= 0.0 or not np.isfinite(step):
+        raise DataQualityError(f"cadence must be a positive finite number, got {step!r}")
+    slots = np.rint((ts - ts[0]) / step).astype(np.int64)
+    if slots.size == 1 or np.all(np.diff(slots) >= 1):
+        # Already one-per-slot in order: keep the caller's arrays (and their
+        # exact timestamps) untouched — the no-op guarantee.
+        return vs, ts, slots
+    grid_ts = ts[0] + slots * step
+    weights = 1.0 - np.abs(ts - grid_ts) / step
+    present, inverse = np.unique(slots, return_inverse=True)
+    weight_sums = np.zeros(present.size, dtype=np.float64)
+    weighted = np.zeros(present.size, dtype=np.float64)
+    np.add.at(weight_sums, inverse, weights)
+    np.add.at(weighted, inverse, weights * vs)
+    merged = weighted / weight_sums
+    return merged, ts[0] + present * step, present
+
+
+def normalize_series(
+    values,
+    timestamps=None,
+    *,
+    cadence: float | None = None,
+    gap_policy: str = "interpolate",
+) -> NormalizedSeries:
+    """Normalize one messy series onto a regular grid, reporting what changed.
+
+    Pipeline: drop non-finite values (counted as ``nan_dropped``), bucket
+    irregular timestamps onto the cadence grid (:func:`regrid`), then handle
+    missing slots per *gap_policy*:
+
+    ``"interpolate"``
+        Linear fill between the gap's endpoints (synthetic points marked).
+    ``"ffill"``
+        Repeat the last observed value across the gap.
+    ``"split"``
+        Leave gaps unfilled; ``segments`` names the gap-free runs.
+    ``"reject"``
+        Raise :class:`~repro.errors.DataQualityError` on the first gap.
+
+    With *timestamps* ``None`` the sample index is the grid (cadence 1.0) and
+    non-finite values are the holes — the Grafana-style dense-frame shape.
+    Dense, finite, regular input comes back untouched: same array objects,
+    ``completeness`` 1.0, no synthetic points.
+    """
+    _require_policy(gap_policy)
+    vs = np.asarray(values, dtype=np.float64)
+    if vs.ndim != 1:
+        raise DataQualityError(f"values must be 1-D, got shape {vs.shape}")
+    if timestamps is None:
+        ts = np.arange(vs.size, dtype=np.float64)
+        if cadence is None:
+            cadence = 1.0
+    else:
+        ts = np.asarray(timestamps, dtype=np.float64)
+    finite = np.isfinite(vs) & np.isfinite(ts)
+    nan_dropped = int(vs.size - np.count_nonzero(finite))
+    if nan_dropped:
+        vs = vs[finite]
+        ts = ts[finite]
+    if vs.size < 2:
+        synthetic = np.zeros(vs.size, dtype=bool)
+        segments = ((0, vs.size),) if vs.size else ()
+        return NormalizedSeries(
+            values=vs,
+            timestamps=ts,
+            synthetic=synthetic,
+            cadence=float(cadence) if cadence is not None else 1.0,
+            completeness=1.0,
+            gaps_filled=0,
+            nan_dropped=nan_dropped,
+            segments=segments,
+        )
+    step = float(cadence) if cadence is not None else infer_cadence(ts)
+    vs, ts, present = regrid(vs, ts, step)
+    present = present - present[0]
+    total_slots = int(present[-1]) + 1
+    missing = total_slots - present.size
+    # After regrid a slot is either present or missing, so "gap" here is
+    # exactly a missing slot (jitter within half a cadence already snapped).
+    if missing == 0:
+        return NormalizedSeries(
+            values=vs,
+            timestamps=ts,
+            synthetic=np.zeros(vs.size, dtype=bool),
+            cadence=step,
+            completeness=1.0,
+            gaps_filled=0,
+            nan_dropped=nan_dropped,
+            segments=((0, vs.size),),
+        )
+    if gap_policy == "reject":
+        first_gap = int(present[np.flatnonzero(np.diff(present) > 1)[0]])
+        raise DataQualityError(
+            f"series has {missing} missing slot(s) at cadence {step!r} "
+            f"(first gap after slot {first_gap}) and gap_policy='reject'"
+        )
+    if gap_policy == "split":
+        return NormalizedSeries(
+            values=vs,
+            timestamps=ts,
+            synthetic=np.zeros(vs.size, dtype=bool),
+            cadence=step,
+            completeness=present.size / total_slots,
+            gaps_filled=0,
+            nan_dropped=nan_dropped,
+            segments=_segments_from_present(present),
+        )
+    widest = int(np.max(np.diff(present))) - 1
+    if widest > MAX_FILL_PER_GAP:
+        raise DataQualityError(
+            f"a gap of {widest} slots exceeds MAX_FILL_PER_GAP ({MAX_FILL_PER_GAP}); "
+            "declare a coarser cadence or use gap_policy='split'"
+        )
+    grid = np.arange(total_slots, dtype=np.int64)
+    out_ts = ts[0] + grid * step
+    out_ts[present] = ts  # observed slots keep their exact (snapped) stamps
+    synthetic = np.ones(total_slots, dtype=bool)
+    synthetic[present] = False
+    if gap_policy == "interpolate":
+        out_vs = np.interp(grid.astype(np.float64), present.astype(np.float64), vs)
+        out_vs[present] = vs  # observed samples bit-exact, interp only fills
+    else:  # ffill
+        carry = np.cumsum(~synthetic) - 1
+        out_vs = vs[carry]
+    return NormalizedSeries(
+        values=out_vs,
+        timestamps=out_ts,
+        synthetic=synthetic,
+        cadence=step,
+        completeness=present.size / total_slots,
+        gaps_filled=missing,
+        nan_dropped=nan_dropped,
+        segments=((0, total_slots),),
+    )

@@ -85,7 +85,12 @@ StreamConfig = AsapSpec
 
 @dataclass(frozen=True)
 class SessionSnapshot:
-    """Read-only view of one session's state (no refresh is triggered)."""
+    """Read-only view of one session's state (no refresh is triggered).
+
+    The trailing quality fields mirror the operator's data-quality counters
+    (:mod:`repro.quality`); they stay at their all-clean defaults whenever
+    the session's spec leaves ``normalize``/``watermark`` off.
+    """
 
     stream_id: str
     panes: int
@@ -97,6 +102,11 @@ class SessionSnapshot:
     created_tick: int
     last_active_tick: int
     config: StreamConfig
+    completeness: float = 1.0
+    gaps_filled: int = 0
+    nan_dropped: int = 0
+    late_accepted: int = 0
+    late_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -148,6 +158,12 @@ class HubStats:
     refreshes were seeded by a stacked trace prefetch, and how many of those
     left the trace anyway.  A rising fallback share means the streams are
     drifting faster than the refresh cadence amortizes.
+
+    ``gaps_filled``/``nan_dropped``/``late_accepted``/``late_dropped`` sum
+    the data-quality counters of the currently active sessions (see
+    :mod:`repro.quality`): synthetic fill points, filtered non-finite
+    arrivals, and late data reordered or dropped at the watermark.  All zero
+    when no session enables the quality stage.
     """
 
     sessions_active: int
@@ -165,6 +181,10 @@ class HubStats:
     sessions_exported: int = 0
     warm_prefetches: int = 0
     warm_fallbacks: int = 0
+    gaps_filled: int = 0
+    nan_dropped: int = 0
+    late_accepted: int = 0
+    late_dropped: int = 0
 
 
 @dataclass
@@ -527,6 +547,11 @@ class StreamHub:
                 created_tick=session.created_tick,
                 last_active_tick=session.last_active_tick,
                 config=session.config,
+                completeness=operator.window_completeness,
+                gaps_filled=operator.gaps_filled,
+                nan_dropped=operator.nan_dropped,
+                late_accepted=operator.late_accepted,
+                late_dropped=operator.late_dropped,
             )
 
     def _resolution_snapshot(
@@ -809,6 +834,18 @@ class StreamHub:
                 ),
                 warm_fallbacks=sum(
                     s.operator.warm_fallbacks for s in self._sessions.values()
+                ),
+                gaps_filled=sum(
+                    s.operator.gaps_filled for s in self._sessions.values()
+                ),
+                nan_dropped=sum(
+                    s.operator.nan_dropped for s in self._sessions.values()
+                ),
+                late_accepted=sum(
+                    s.operator.late_accepted for s in self._sessions.values()
+                ),
+                late_dropped=sum(
+                    s.operator.late_dropped for s in self._sessions.values()
                 ),
             )
 

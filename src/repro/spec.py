@@ -39,6 +39,7 @@ from dataclasses import dataclass, fields
 
 from .errors import SpecError
 from .persist.codec import SCHEMA_VERSION
+from .quality.normalize import GAP_POLICIES
 
 __all__ = ["AsapSpec", "DEFAULT_RESOLUTION", "SpecError", "SCHEMA_VERSION", "default_kernel"]
 
@@ -145,6 +146,27 @@ class AsapSpec:
     pyramid:
         Attach a rollup pyramid so one session serves any pixel width.
 
+    Quality knobs (read by :mod:`repro.quality` at every tier; all default
+    *off*, making the quality stage a bit-identical no-op on clean input):
+
+    normalize:
+        Enable NaN filtering and gap handling: batch entry points normalize
+        through :func:`repro.quality.normalize_series`, streaming operators
+        through a stateful :class:`~repro.quality.StreamNormalizer`, and
+        frames/snapshots report per-window ``completeness``.
+    cadence:
+        Declared sampling interval for gap detection; ``None`` infers it
+        (median of early spacings).
+    gap_policy:
+        What to do with a detected gap: ``"interpolate"`` (linear fill),
+        ``"ffill"`` (repeat last value), ``"split"`` (counted discontinuity,
+        no fill), or ``"reject"`` (raise
+        :class:`~repro.errors.DataQualityError`).
+    watermark:
+        Reordering-buffer depth in points for the streaming path; late
+        points within the watermark land in their correct pane, points
+        beyond it are counted-and-dropped.  0 disables reordering.
+
     Defaults are the *serving* defaults (the hub tiers' historical
     ``StreamConfig``); the standalone ``StreamingASAP`` constructor keeps its
     historical research defaults and routes them through an explicit spec.
@@ -164,6 +186,10 @@ class AsapSpec:
     warm_start: bool = True
     keep_pane_sketches: bool = False
     pyramid: bool = True
+    normalize: bool = False
+    cadence: float | None = None
+    gap_policy: str = "interpolate"
+    watermark: int = 0
 
     #: Wire-schema version; the persist codec's, because specs travel inside
     #: its payloads (session configs, cluster create commands).
@@ -181,6 +207,7 @@ class AsapSpec:
         "warm_start",
     )
     SERVING_FIELDS = ("keep_pane_sketches", "pyramid")
+    QUALITY_FIELDS = ("normalize", "cadence", "gap_policy", "watermark")
 
     def __post_init__(self) -> None:
         self.validate()
@@ -209,6 +236,24 @@ class AsapSpec:
         _require_bool("warm_start", self.warm_start)
         _require_bool("keep_pane_sketches", self.keep_pane_sketches)
         _require_bool("pyramid", self.pyramid)
+        _require_bool("normalize", self.normalize)
+        if self.cadence is not None:
+            if (
+                isinstance(self.cadence, bool)
+                or not isinstance(self.cadence, (int, float))
+                or not self.cadence > 0
+                or self.cadence != self.cadence  # NaN
+                or self.cadence == float("inf")
+            ):
+                raise SpecError(
+                    f"cadence must be a positive finite number or None, got {self.cadence!r}"
+                )
+        if self.gap_policy not in GAP_POLICIES:
+            raise SpecError(
+                f"gap_policy must be one of {', '.join(GAP_POLICIES)}; "
+                f"got {self.gap_policy!r}"
+            )
+        _require_int("watermark", self.watermark, minimum=0)
         return self
 
     # -- serialization ----------------------------------------------------------

@@ -210,6 +210,19 @@ class PaneBuffer:
         batch-ingest cost roughly in half; :meth:`window_sketch` becomes
         unavailable.  Aggregated means are bit-identical either way — the
         Welford mean recurrence does not depend on the higher moments.
+    track_quality:
+        When True, the buffer keeps a per-pane count of *synthetic* points
+        (gap fills marked by the quality stage via the ``synthetic``
+        arguments of :meth:`push`/:meth:`extend`), so
+        :attr:`window_synthetic_points` can report how much of the current
+        window is filled rather than observed.  Aggregation is unaffected.
+
+    Timestamp semantics: panes bucket by **arrival order** — a pane's
+    ``start_time`` is simply the timestamp of its first arrival, duplicates
+    and even non-monotonic timestamps included.  Callers that need
+    out-of-order arrivals placed by *time* put a
+    :class:`~repro.quality.ReorderBuffer` in front (the streaming operator's
+    ``watermark`` knob); the buffer itself never reorders or mis-buckets.
     """
 
     def __init__(
@@ -218,6 +231,7 @@ class PaneBuffer:
         capacity: int,
         journal: bool = False,
         keep_sketches: bool = True,
+        track_quality: bool = False,
     ) -> None:
         if pane_size < 1:
             raise ValueError(f"pane_size must be >= 1, got {pane_size}")
@@ -227,9 +241,12 @@ class PaneBuffer:
         self.capacity = capacity
         self.journal = journal
         self.keep_sketches = keep_sketches
+        self.track_quality = track_quality
         self._panes: deque[Pane] = deque()
         self._means = RollingArray(capacity)
         self._times = RollingArray(capacity)
+        self._synth = RollingArray(capacity) if track_quality else None
+        self._open_synth = 0
         self._open: Pane | None = None
         self._total_points = 0
         self._evicted_panes = 0
@@ -243,6 +260,9 @@ class PaneBuffer:
             self._panes.append(pane)
         self._means.append(pane.mean)
         self._times.append(pane.start_time)
+        if self._synth is not None:
+            self._synth.append(float(self._open_synth))
+            self._open_synth = 0
         if self.journal:
             self._pending_means.append(pane.mean)
             self._pending_times.append(pane.start_time)
@@ -251,14 +271,18 @@ class PaneBuffer:
                 self._panes.popleft()
             self._means.popleft()
             self._times.popleft()
+            if self._synth is not None:
+                self._synth.popleft()
             self._evicted_panes += 1
 
-    def push(self, timestamp: float, value: float) -> Pane | None:
+    def push(self, timestamp: float, value: float, synthetic: bool = False) -> Pane | None:
         """Fold one arrival in; return the pane it *completed*, if any."""
         if self._open is None:
             self._open = Pane(start_time=timestamp)
         self._open.update(value)
         self._total_points += 1
+        if synthetic and self._synth is not None:
+            self._open_synth += 1
         if self._open.count >= self.pane_size:
             completed = self._open
             self._open = None
@@ -266,7 +290,7 @@ class PaneBuffer:
             return completed
         return None
 
-    def extend(self, timestamps, values) -> int:
+    def extend(self, timestamps, values, synthetic=None) -> int:
         """Push a batch; return how many panes were completed.
 
         Whole panes are folded with vectorized Welford updates — bit-identical
@@ -275,6 +299,8 @@ class PaneBuffer:
         trailing group smaller than ``pane_size`` stays in the open pane,
         exactly as with :meth:`push`; *timestamps* and *values* must have
         equal lengths (a mismatch raises instead of silently truncating).
+        *synthetic* optionally marks fill points (a bool mask of the same
+        length) for the per-pane quality tally (``track_quality=True``).
         """
         ts = np.asarray(timestamps, dtype=np.float64)
         vs = np.asarray(values, dtype=np.float64)
@@ -286,13 +312,20 @@ class PaneBuffer:
             raise ValueError(
                 f"timestamps and values must have equal lengths, got {ts.size} and {vs.size}"
             )
+        syn = None
+        if synthetic is not None and self._synth is not None:
+            syn = np.asarray(synthetic, dtype=bool)
+            if syn.shape != vs.shape:
+                raise ValueError(
+                    f"synthetic mask must match values, got {syn.shape} and {vs.shape}"
+                )
         completed = 0
         i = 0
         n = vs.size
         # Finish the currently open pane point by point (at most pane_size - 1
         # iterations), so the bulk phase starts on a pane boundary.
         while i < n and self._open is not None:
-            if self.push(float(ts[i]), float(vs[i])) is not None:
+            if self.push(float(ts[i]), float(vs[i]), syn is not None and bool(syn[i])) is not None:
                 completed += 1
             i += 1
         n_full = (n - i) // self.pane_size
@@ -315,6 +348,8 @@ class PaneBuffer:
             self._panes.clear()
             self._means.clear()
             self._times.clear()
+            if self._synth is not None:
+                self._synth.clear()
             self._total_points += skipped_span
             completed += skipped
             i += skipped_span
@@ -343,6 +378,17 @@ class PaneBuffer:
                 mean = _bulk_welford_means(block)
             self._means.append_many(mean)
             self._times.append_many(starts)
+            if self._synth is not None:
+                if syn is not None:
+                    counts = (
+                        syn[i : i + span]
+                        .reshape(n_full, pane_size)
+                        .sum(axis=1)
+                        .astype(np.float64)
+                    )
+                else:
+                    counts = np.zeros(n_full, dtype=np.float64)
+                self._synth.append_many(counts)
             if self.journal:
                 self._pending_means.extend(mean.tolist())
                 self._pending_times.extend(starts.tolist())
@@ -355,12 +401,14 @@ class PaneBuffer:
                         self._panes.popleft()
                 self._means.popleft(overflow)
                 self._times.popleft(overflow)
+                if self._synth is not None:
+                    self._synth.popleft(overflow)
                 self._evicted_panes += overflow
             self._total_points += span
             completed += n_full
             i += span
         for j in range(i, n):
-            if self.push(float(ts[j]), float(vs[j])) is not None:
+            if self.push(float(ts[j]), float(vs[j]), syn is not None and bool(syn[j])) is not None:
                 completed += 1
         return completed
 
@@ -394,6 +442,26 @@ class PaneBuffer:
     def open_pane_start(self) -> float | None:
         """Start timestamp of the trailing partial pane, if one is open."""
         return self._open.start_time if self._open is not None else None
+
+    @property
+    def window_synthetic_points(self) -> int:
+        """Synthetic (gap-fill) points inside the completed-pane window.
+
+        0 unless constructed with ``track_quality=True`` and fed a
+        ``synthetic`` mask; the open partial pane is not counted (it is not
+        part of the aggregated window either).
+        """
+        if self._synth is None:
+            return 0
+        return int(self._synth.view().sum())
+
+    @property
+    def window_completeness(self) -> float:
+        """Fraction of the aggregated window built from observed points."""
+        window_points = len(self._means) * self.pane_size
+        if window_points == 0:
+            return 1.0
+        return 1.0 - self.window_synthetic_points / window_points
 
     def aggregated_values(self) -> np.ndarray:
         """Mean of each completed pane, oldest first — the search's input."""
@@ -455,6 +523,9 @@ class PaneBuffer:
         self._panes.clear()
         self._means.clear()
         self._times.clear()
+        if self._synth is not None:
+            self._synth.clear()
+        self._open_synth = 0
         self._open = None
         self._total_points = 0
         self._evicted_panes = 0
@@ -487,6 +558,13 @@ class PaneBuffer:
             "capacity": self.capacity,
             "journal": self.journal,
             "keep_sketches": self.keep_sketches,
+            "track_quality": self.track_quality,
+            "synth": (
+                np.empty(0, dtype=np.float64)
+                if self._synth is None
+                else self._synth.view().copy()
+            ),
+            "open_synth": self._open_synth,
             "means": self._means.view().copy(),
             "times": self._times.view().copy(),
             "total_points": self._total_points,
@@ -515,9 +593,13 @@ class PaneBuffer:
             capacity=int(state["capacity"]),
             journal=bool(state["journal"]),
             keep_sketches=bool(state["keep_sketches"]),
+            track_quality=bool(state.get("track_quality", False)),
         )
         buffer._means.append_many(np.asarray(state["means"], dtype=np.float64))
         buffer._times.append_many(np.asarray(state["times"], dtype=np.float64))
+        if buffer._synth is not None:
+            buffer._synth.append_many(np.asarray(state["synth"], dtype=np.float64))
+            buffer._open_synth = int(state["open_synth"])
         buffer._total_points = int(state["total_points"])
         buffer._evicted_panes = int(state["evicted_panes"])
         buffer._pending_means = list(np.asarray(state["pending_means"], dtype=np.float64))

@@ -2,14 +2,26 @@
 
 Datasets are loaded at reduced scale (structure preserved, cost bounded) and
 cached per session; noise fixtures are seeded for reproducibility.
+
+Hypothesis profiles: ``ci`` (the PR fuzz leg — derandomized so a red run is
+reproducible from the log, failing examples printed as ``@reproduce_failure``
+blobs) and ``nightly`` (10x examples for the cron sweep).  Select with
+``HYPOTHESIS_PROFILE=ci|nightly``; unset runs the library default.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.timeseries import load
+
+settings.register_profile("ci", derandomize=True, print_blob=True, deadline=None)
+settings.register_profile("nightly", max_examples=1000, print_blob=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

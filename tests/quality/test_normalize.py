@@ -1,0 +1,167 @@
+"""Batch normalization: cadence inference, regridding, and the gap policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataQualityError
+from repro.quality import infer_cadence, normalize_series, regrid
+from repro.quality.normalize import MAX_FILL_PER_GAP
+
+
+class TestInferCadence:
+    def test_regular_grid(self):
+        assert infer_cadence(np.arange(10.0) * 2.5) == 2.5
+
+    def test_median_ignores_gaps(self):
+        # One oversized spacing must not skew the inferred cadence.
+        ts = np.array([0.0, 1.0, 2.0, 3.0, 50.0, 51.0, 52.0])
+        assert infer_cadence(ts) == 1.0
+
+    def test_duplicates_excluded(self):
+        ts = np.array([0.0, 0.0, 1.0, 1.0, 2.0])
+        assert infer_cadence(ts) == 1.0
+
+    def test_unsorted_input(self):
+        assert infer_cadence(np.array([3.0, 0.0, 1.0, 2.0])) == 1.0
+
+    def test_no_positive_spacing_raises(self):
+        with pytest.raises(DataQualityError, match="cadence"):
+            infer_cadence(np.array([5.0, 5.0, 5.0]))
+
+    def test_not_1d_raises(self):
+        with pytest.raises(DataQualityError, match="1-D"):
+            infer_cadence(np.zeros((2, 2)))
+
+
+class TestRegrid:
+    def test_regular_input_is_untouched(self):
+        # The no-op guarantee: the caller's arrays come back, not copies.
+        vs = np.array([1.0, 2.0, 3.0])
+        ts = np.array([0.0, 1.0, 2.0])
+        out_vs, out_ts, slots = regrid(vs, ts)
+        assert out_vs is vs
+        assert out_ts is ts
+        assert slots.tolist() == [0, 1, 2]
+
+    def test_jittered_input_keeps_exact_stamps(self):
+        ts = np.array([0.0, 1.1, 1.9, 3.05])
+        vs = np.array([1.0, 2.0, 3.0, 4.0])
+        out_vs, out_ts, slots = regrid(vs, ts, cadence=1.0)
+        assert out_vs is vs
+        assert out_ts is ts  # one-per-slot: jitter preserved, nothing merged
+        assert slots.tolist() == [0, 1, 2, 3]
+
+    def test_colliding_samples_merge_time_weighted(self):
+        # Two samples in slot 1: dead-center weight 1.0, quarter-off 0.75.
+        ts = np.array([0.0, 1.0, 1.25, 2.0])
+        vs = np.array([0.0, 4.0, 8.0, 0.0])
+        out_vs, out_ts, slots = regrid(vs, ts, cadence=1.0)
+        assert slots.tolist() == [0, 1, 2]
+        assert out_ts.tolist() == [0.0, 1.0, 2.0]
+        expected = (1.0 * 4.0 + 0.75 * 8.0) / 1.75
+        assert out_vs[1] == pytest.approx(expected)
+
+    def test_unsorted_input_is_sorted(self):
+        ts = np.array([2.0, 0.0, 1.0])
+        vs = np.array([30.0, 10.0, 20.0])
+        out_vs, out_ts, _ = regrid(vs, ts, cadence=1.0)
+        assert out_ts.tolist() == [0.0, 1.0, 2.0]
+        assert out_vs.tolist() == [10.0, 20.0, 30.0]
+
+    def test_empty(self):
+        out_vs, out_ts, slots = regrid([], [], cadence=1.0)
+        assert out_vs.size == out_ts.size == slots.size == 0
+
+    def test_bad_cadence_raises(self):
+        with pytest.raises(DataQualityError, match="cadence"):
+            regrid([1.0, 2.0], [0.0, 1.0], cadence=0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataQualityError, match="equal-length"):
+            regrid([1.0, 2.0], [0.0])
+
+
+class TestNormalizeSeries:
+    def test_dense_input_is_untouched(self):
+        vs = np.sin(np.arange(100.0))
+        ts = np.arange(100.0)
+        norm = normalize_series(vs, ts)
+        assert norm.values is vs
+        assert norm.timestamps is ts
+        assert norm.completeness == 1.0
+        assert norm.gaps_filled == 0
+        assert norm.nan_dropped == 0
+        assert not norm.synthetic.any()
+        assert norm.segments == ((0, 100),)
+
+    def test_values_only_dense_is_untouched(self):
+        vs = np.arange(50.0)
+        norm = normalize_series(vs)
+        assert norm.values is vs
+        assert norm.cadence == 1.0
+
+    def test_nan_values_dropped_and_filled(self):
+        vs = np.arange(10.0)
+        vs[4] = np.nan
+        norm = normalize_series(vs)
+        assert norm.nan_dropped == 1
+        assert norm.gaps_filled == 1
+        assert bool(norm.synthetic[4])
+        assert norm.values[4] == 4.0  # linear fill lands on the line
+
+    def test_interpolate_fills_on_the_grid(self):
+        ts = np.array([0.0, 1.0, 4.0, 5.0])
+        vs = np.array([0.0, 1.0, 4.0, 5.0])
+        norm = normalize_series(vs, ts, cadence=1.0)
+        assert norm.values.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert norm.synthetic.tolist() == [False, False, True, True, False, False]
+        assert norm.gaps_filled == 2
+        assert norm.completeness == pytest.approx(4 / 6)
+        # Observed samples are bit-exact, not re-interpolated.
+        assert norm.values[1] == vs[1]
+
+    def test_ffill_repeats_last_observed(self):
+        ts = np.array([0.0, 3.0])
+        vs = np.array([7.0, 9.0])
+        norm = normalize_series(vs, ts, cadence=1.0, gap_policy="ffill")
+        assert norm.values.tolist() == [7.0, 7.0, 7.0, 9.0]
+
+    def test_split_reports_segments_without_filling(self):
+        ts = np.array([0.0, 1.0, 5.0, 6.0, 7.0])
+        vs = np.arange(5.0)
+        norm = normalize_series(vs, ts, cadence=1.0, gap_policy="split")
+        assert norm.values is not None and norm.values.size == 5  # unfilled
+        assert norm.gaps_filled == 0
+        assert norm.segments == ((0, 2), (2, 5))
+        assert norm.completeness == pytest.approx(5 / 8)
+
+    def test_reject_raises_on_first_gap(self):
+        with pytest.raises(DataQualityError, match="reject"):
+            normalize_series(np.arange(3.0), np.array([0.0, 1.0, 9.0]), gap_policy="reject")
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(DataQualityError, match="gap_policy"):
+            normalize_series(np.arange(3.0), gap_policy="zero")
+
+    def test_oversize_gap_refused(self):
+        ts = np.array([0.0, 1.0, 1.0 + (MAX_FILL_PER_GAP + 2)])
+        with pytest.raises(DataQualityError, match="MAX_FILL_PER_GAP"):
+            normalize_series(np.arange(3.0), ts, cadence=1.0)
+
+    def test_observed_timestamps_survive_filling(self):
+        # Jittered observed stamps are preserved; only fills land on the grid.
+        ts = np.array([0.0, 1.05, 4.0])
+        vs = np.array([0.0, 1.0, 4.0])
+        norm = normalize_series(vs, ts, cadence=1.0)
+        assert norm.timestamps[1] == 1.05
+        assert norm.timestamps[2] == 2.0  # synthetic slot: exact grid point
+
+    def test_single_point(self):
+        norm = normalize_series(np.array([5.0]), np.array([3.0]))
+        assert norm.values.tolist() == [5.0]
+        assert norm.completeness == 1.0
+
+    def test_all_nan(self):
+        norm = normalize_series(np.array([np.nan, np.nan]))
+        assert norm.values.size == 0
+        assert norm.nan_dropped == 2

@@ -1,0 +1,164 @@
+"""The streaming quality stages: ReorderBuffer and StreamNormalizer units."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataQualityError
+from repro.quality import ReorderBuffer, StreamNormalizer
+from repro.quality.stream import CADENCE_INFER_SAMPLES
+
+
+class TestReorderBuffer:
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError, match="watermark"):
+            ReorderBuffer(0)
+
+    def test_in_order_fast_path_returns_untouched_slices(self):
+        buffer = ReorderBuffer(watermark=4)
+        ts = np.arange(10.0)
+        vs = ts * 2
+        out_ts, out_vs = buffer.push_many(ts, vs)
+        # 10 in, 4 held back: the first 6 release, in order.
+        assert out_ts.tolist() == list(range(6))
+        assert out_vs.tolist() == [2.0 * t for t in range(6)]
+        assert len(buffer) == 4
+        assert buffer.late_accepted == 0
+
+    def test_under_watermark_releases_nothing(self):
+        buffer = ReorderBuffer(watermark=8)
+        out_ts, out_vs = buffer.push_many([0.0, 1.0], [10.0, 11.0])
+        assert out_ts.size == 0 and out_vs.size == 0
+        assert len(buffer) == 2
+
+    def test_out_of_order_within_watermark_is_sorted(self):
+        buffer = ReorderBuffer(watermark=4)
+        out_ts, _ = buffer.push_many([2.0, 0.0, 1.0, 3.0, 4.0, 5.0], np.zeros(6))
+        drained_ts, _ = buffer.drain()
+        released = out_ts.tolist() + drained_ts.tolist()
+        assert released == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert buffer.late_accepted == 2  # 0.0 and 1.0 arrived behind 2.0
+        assert buffer.late_dropped == 0
+
+    def test_beyond_watermark_is_counted_and_dropped(self):
+        buffer = ReorderBuffer(watermark=2)
+        buffer.push_many([0.0, 1.0, 2.0, 3.0, 4.0], np.zeros(5))  # releases up to 2.0
+        out_ts, _ = buffer.push_many([0.5], [9.0])  # older than last released
+        assert out_ts.size == 0
+        assert buffer.late_dropped == 1
+        drained_ts, drained_vs = buffer.drain()
+        assert 9.0 not in drained_vs.tolist()
+        assert drained_ts.tolist() == [3.0, 4.0]
+
+    def test_sorted_stream_equivalence_under_block_shuffle(self):
+        # The invariant: displacement <= watermark => released == sorted.
+        rng = np.random.default_rng(5)
+        ts = np.arange(200.0)
+        vs = rng.normal(size=200)
+        order = np.arange(200)
+        for start in range(0, 200, 8):
+            order[start : start + 8] = start + rng.permutation(min(8, 200 - start))
+        buffer = ReorderBuffer(watermark=8)
+        rel_ts, rel_vs = buffer.push_many(ts[order], vs[order])
+        drain_ts, drain_vs = buffer.drain()
+        assert np.concatenate((rel_ts, drain_ts)).tolist() == ts.tolist()
+        assert np.concatenate((rel_vs, drain_vs)).tolist() == vs.tolist()
+        assert buffer.late_dropped == 0
+
+    def test_drain_then_reuse(self):
+        buffer = ReorderBuffer(watermark=4)
+        buffer.push_many([0.0, 1.0], [0.0, 0.0])
+        buffer.drain()
+        out_ts, _ = buffer.push_many([0.5], [0.0])  # before last drained release
+        assert out_ts.size == 0
+        assert buffer.late_dropped == 1
+
+    def test_state_round_trip(self):
+        buffer = ReorderBuffer(watermark=4)
+        buffer.push_many([3.0, 1.0, 2.0, 4.0, 5.0, 6.0], np.arange(6.0))
+        restored = ReorderBuffer.from_state(buffer.state_dict())
+        assert restored.late_accepted == buffer.late_accepted
+        assert restored.late_dropped == buffer.late_dropped
+        a_ts, a_vs = buffer.drain()
+        b_ts, b_vs = restored.drain()
+        assert a_ts.tolist() == b_ts.tolist()
+        assert a_vs.tolist() == b_vs.tolist()
+
+
+class TestStreamNormalizer:
+    def test_policy_and_cadence_validation(self):
+        with pytest.raises(DataQualityError, match="gap_policy"):
+            StreamNormalizer(gap_policy="zero")
+        with pytest.raises(DataQualityError, match="cadence"):
+            StreamNormalizer(cadence=-1.0)
+
+    def test_dense_fast_path_returns_untouched(self):
+        normalizer = StreamNormalizer(cadence=1.0)
+        ts = np.arange(20.0)
+        vs = np.sin(ts)
+        out_ts, out_vs, synth = normalizer.process(ts, vs)
+        assert out_ts is ts and out_vs is vs and synth is None
+        assert normalizer.gaps_filled == 0
+
+    def test_nan_dropped_and_counted(self):
+        normalizer = StreamNormalizer(cadence=1.0, gap_policy="split")
+        vs = np.array([1.0, np.nan, 3.0])
+        out_ts, out_vs, _ = normalizer.process(np.arange(3.0), vs)
+        assert out_vs.tolist() == [1.0, 3.0]
+        assert normalizer.nan_dropped == 1
+
+    def test_gap_interpolated_across_batches(self):
+        normalizer = StreamNormalizer(cadence=1.0)
+        normalizer.process([0.0, 1.0], [0.0, 1.0])
+        out_ts, out_vs, synth = normalizer.process([4.0], [4.0])
+        assert out_ts.tolist() == [2.0, 3.0, 4.0]
+        assert out_vs.tolist() == [2.0, 3.0, 4.0]
+        assert synth.tolist() == [True, True, False]
+        assert normalizer.gaps_filled == 2
+
+    def test_ffill_policy(self):
+        normalizer = StreamNormalizer(cadence=1.0, gap_policy="ffill")
+        normalizer.process([0.0], [7.0])
+        _, out_vs, _ = normalizer.process([3.0], [9.0])
+        assert out_vs.tolist() == [7.0, 7.0, 9.0]
+
+    def test_split_counts_without_filling(self):
+        normalizer = StreamNormalizer(cadence=1.0, gap_policy="split")
+        normalizer.process([0.0], [0.0])
+        out_ts, _, synth = normalizer.process([5.0], [5.0])
+        assert out_ts.tolist() == [5.0]
+        assert normalizer.gaps_split == 1
+        assert normalizer.gaps_filled == 0
+        assert not synth[0]
+
+    def test_reject_raises(self):
+        normalizer = StreamNormalizer(cadence=1.0, gap_policy="reject")
+        normalizer.process([0.0], [0.0])
+        with pytest.raises(DataQualityError, match="reject"):
+            normalizer.process([5.0], [5.0])
+
+    def test_cadence_inferred_from_first_spacings(self):
+        normalizer = StreamNormalizer()  # undeclared
+        n = CADENCE_INFER_SAMPLES + 1
+        ts = np.arange(n, dtype=np.float64) * 2.0
+        normalizer.process(ts, np.zeros(n))
+        assert normalizer.cadence == 2.0
+        # Now a 3-cadence jump is a gap on the inferred grid.
+        _, out_vs, synth = normalizer.process([ts[-1] + 6.0], [3.0])
+        assert synth is not None and synth.tolist() == [True, True, False]
+
+    def test_state_round_trip_mid_inference(self):
+        normalizer = StreamNormalizer()
+        normalizer.process([0.0, 1.0, 2.0], np.zeros(3))  # 2 spacing samples
+        restored = StreamNormalizer.from_state(normalizer.state_dict())
+        assert restored.cadence is None
+        n = CADENCE_INFER_SAMPLES
+        ts = 3.0 + np.arange(n, dtype=np.float64)
+        restored.process(ts, np.zeros(n))
+        assert restored.cadence == 1.0
+
+    def test_clear_restores_declared_cadence(self):
+        normalizer = StreamNormalizer(cadence=2.0)
+        normalizer.process([0.0, 2.0], [0.0, 0.0])
+        normalizer.clear()
+        assert normalizer.cadence == 2.0
+        assert normalizer.gaps_filled == 0

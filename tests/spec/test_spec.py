@@ -62,6 +62,7 @@ class TestGroups:
             set(AsapSpec.OPERATOR_FIELDS)
             | set(AsapSpec.STREAMING_FIELDS)
             | set(AsapSpec.SERVING_FIELDS)
+            | set(AsapSpec.QUALITY_FIELDS)
         )
         names = {f.name for f in dataclasses.fields(AsapSpec)}
         assert grouped == names
@@ -69,6 +70,7 @@ class TestGroups:
             len(AsapSpec.OPERATOR_FIELDS)
             + len(AsapSpec.STREAMING_FIELDS)
             + len(AsapSpec.SERVING_FIELDS)
+            + len(AsapSpec.QUALITY_FIELDS)
         )
         assert total == len(names)  # disjoint
 

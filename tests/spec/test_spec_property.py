@@ -35,6 +35,11 @@ _FIELD_STRATEGIES = {
     "keep_pane_sketches": st.booleans(),
     "pyramid": st.booleans(),
     "warm_start": st.booleans(),
+    "normalize": st.booleans(),
+    "cadence": st.none()
+    | st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    "gap_policy": st.sampled_from(("interpolate", "ffill", "split", "reject")),
+    "watermark": st.integers(min_value=0, max_value=10_000),
 }
 
 # Every field must have a strategy, or the properties silently narrow.

@@ -234,3 +234,94 @@ class TestValidation:
 
         with pytest.raises(ValueError):
             Pane(start_time=0.0).mean
+
+
+class TestTimestampEdgeCases:
+    """Messy-timestamp behavior, pinned.
+
+    The buffer buckets by **arrival order**: pane membership is "the next
+    ``pane_size`` arrivals", never inferred from timestamp spacing.  Callers
+    that need temporal ordering put a :class:`~repro.quality.ReorderBuffer`
+    in front (the operator's ``watermark`` knob); the buffer itself must
+    neither reorder nor silently mis-bucket.
+    """
+
+    def test_duplicate_timestamps_share_a_pane(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10)
+        pane = buffer.push(5.0, 1.0) or buffer.push(5.0, 3.0)
+        assert pane is not None
+        assert pane.start_time == 5.0
+        assert pane.mean == pytest.approx(2.0)
+
+    def test_zero_duration_pane_from_repeated_stamp(self):
+        # All arrivals at one instant: a legal pane with zero time extent.
+        buffer = PaneBuffer(pane_size=3, capacity=10)
+        buffer.extend([7.0, 7.0, 7.0], [1.0, 2.0, 3.0])
+        assert np.array_equal(buffer.aggregated_timestamps(), [7.0])
+        assert np.array_equal(buffer.aggregated_values(), [2.0])
+
+    def test_single_point_per_pane_keeps_exact_stamp(self):
+        buffer = PaneBuffer(pane_size=1, capacity=10)
+        stamps = [0.0, 0.5, 0.5, 2.75]
+        buffer.extend(stamps, np.arange(4.0))
+        assert buffer.aggregated_timestamps().tolist() == stamps
+        assert buffer.aggregated_values().tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_non_monotonic_extend_buckets_by_arrival_order(self):
+        # Out-of-order arrivals land in arrival-order panes — documented
+        # behavior, identical between extend and per-point pushes.
+        stamps = [3.0, 1.0, 2.0, 0.0]
+        values = [30.0, 10.0, 20.0, 0.0]
+        bulk = PaneBuffer(pane_size=2, capacity=10)
+        bulk.extend(stamps, values)
+        loop = PaneBuffer(pane_size=2, capacity=10)
+        for t, v in zip(stamps, values):
+            loop.push(t, v)
+        for buffer in (bulk, loop):
+            assert buffer.aggregated_values().tolist() == [20.0, 10.0]
+            assert buffer.aggregated_timestamps().tolist() == [3.0, 2.0]
+
+
+class TestQualityTracking:
+    def test_off_by_default_reports_clean(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10)
+        buffer.extend(range(4), np.ones(4))
+        assert buffer.window_synthetic_points == 0
+        assert buffer.window_completeness == 1.0
+
+    def test_synthetic_points_counted_per_window(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10, track_quality=True)
+        buffer.extend(range(4), np.ones(4), synthetic=np.array([False, True, True, False]))
+        assert buffer.window_synthetic_points == 2
+        assert buffer.window_completeness == pytest.approx(0.5)
+
+    def test_completeness_follows_eviction(self):
+        buffer = PaneBuffer(pane_size=1, capacity=2, track_quality=True)
+        buffer.extend(range(3), np.ones(3), synthetic=np.array([True, False, False]))
+        # The synthetic point was evicted with its pane.
+        assert buffer.window_synthetic_points == 0
+        assert buffer.window_completeness == 1.0
+
+    def test_extend_matches_pushes(self):
+        mask = np.array([False, True, False, True, True, False, False])
+        bulk = PaneBuffer(pane_size=2, capacity=10, track_quality=True)
+        bulk.extend(range(7), np.ones(7), synthetic=mask)
+        loop = PaneBuffer(pane_size=2, capacity=10, track_quality=True)
+        for i, syn in enumerate(mask):
+            loop.push(float(i), 1.0, synthetic=bool(syn))
+        assert bulk.window_synthetic_points == loop.window_synthetic_points == 3
+        assert bulk.window_completeness == loop.window_completeness
+
+    def test_state_round_trip_preserves_tracking(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10, track_quality=True)
+        buffer.extend(range(5), np.ones(5), synthetic=np.array([True, False, True, False, True]))
+        restored = PaneBuffer.from_state(buffer.state_dict())
+        assert restored.window_synthetic_points == buffer.window_synthetic_points
+        restored.push(5.0, 1.0)
+        buffer.push(5.0, 1.0)
+        assert restored.window_synthetic_points == buffer.window_synthetic_points
+
+    def test_mismatched_mask_rejected(self):
+        buffer = PaneBuffer(pane_size=2, capacity=10, track_quality=True)
+        with pytest.raises(ValueError, match="synthetic"):
+            buffer.extend(range(4), np.ones(4), synthetic=np.array([True]))

@@ -41,6 +41,21 @@ def test_benchmarks_exist():
     assert len(CLI_BENCHMARKS) >= 5
 
 
+def test_cli_benchmarks_cover_every_tier():
+    # The explicit audit roster: adding a tier benchmark means adding it
+    # here (and to baselines.json if it ratchets), not just to the glob.
+    expected = {
+        "bench_batch_engine.py",
+        "bench_streamhub.py",
+        "bench_pyramid.py",
+        "bench_cluster.py",
+        "bench_kernels.py",
+        "bench_messy.py",
+    }
+    names = {path.name for path in CLI_BENCHMARKS}
+    assert expected <= names, f"missing CLI benchmarks: {sorted(expected - names)}"
+
+
 @pytest.mark.parametrize("path", BENCHMARKS, ids=lambda p: p.name)
 def test_benchmark_randomness_is_seeded(path):
     source = path.read_text()
