@@ -55,6 +55,7 @@ Packages:
 from .core import (
     ASAP,
     DEFAULT_RESOLUTION,
+    BackfillResult,
     Frame,
     SearchResult,
     SmoothingResult,
@@ -73,11 +74,12 @@ from .service import StreamConfig, StreamHub
 from .spec import AsapSpec
 from .timeseries import TimeSeries
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ASAP",
     "AsapSpec",
+    "BackfillResult",
     "BatchEngine",
     "BatchResult",
     "Client",

@@ -199,16 +199,33 @@ class Client:
         self,
         spec: AsapSpec | None = None,
         stream_id: str | None = None,
+        history: tuple | None = None,
         **overrides,
     ) -> "StreamHandle":
-        """Open one streaming session; returns a :class:`StreamHandle`."""
+        """Open one streaming session; returns a :class:`StreamHandle`.
+
+        *history* is an optional ``(timestamps, values)`` archive bulk-folded
+        into the fresh session via :meth:`backfill` before the handle is
+        returned — the stream starts exactly where point-by-point replay
+        would have left it, at batch-ingest speed.
+        """
         resolved = self._resolved(spec, overrides, hint="to name the stream, pass stream_id=...")
-        sid = self._hub.create_stream(stream_id, config=resolved)
+        sid = self._hub.create_stream(stream_id, config=resolved, history=history)
         return StreamHandle(self, sid, resolved)
 
     def ingest(self, stream_id: str, timestamps, values) -> list:
         """Fold arrivals into one stream; returns the inline frames."""
         return list(self._hub.ingest(stream_id, timestamps, values))
+
+    def backfill(self, stream_id: str, timestamps, values):
+        """Replay an archive into one stream through the bulk lane; returns a
+        :class:`~repro.core.streaming.BackfillResult`.
+
+        Every frame the stream emits afterwards is bit-identical to having
+        streamed the archive point by point (the repo-wide equivalence law);
+        only the interior per-frame work is skipped.
+        """
+        return self._hub.backfill(stream_id, timestamps, values)
 
     def tick(self) -> dict:
         """Run every deferred refresh; frames keyed by stream id.
@@ -314,6 +331,10 @@ class StreamHandle:
 
     def ingest_point(self, timestamp: float, value: float) -> list:
         return self.client.ingest(self.stream_id, [timestamp], [value])
+
+    def backfill(self, timestamps, values):
+        """Bulk-replay an archive into this stream; see :meth:`Client.backfill`."""
+        return self.client.backfill(self.stream_id, timestamps, values)
 
     def tick(self) -> list:
         """Run deferred refreshes and return *this* stream's frames.

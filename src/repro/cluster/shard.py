@@ -85,6 +85,9 @@ def _dispatch(hub: StreamHub, command: str, payload):
     if command == "ingest":
         stream_id, timestamps, values = payload
         return hub.ingest(stream_id, timestamps, values)
+    if command == "backfill":
+        stream_id, timestamps, values = payload
+        return hub.backfill(stream_id, timestamps, values)
     if command == "tick":
         return hub.tick()
     if command == "create":

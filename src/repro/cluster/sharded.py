@@ -309,9 +309,14 @@ class ShardedHub:
         self,
         stream_id: str | None = None,
         config: StreamConfig | None = None,
+        history: tuple | None = None,
         **overrides,
     ) -> str:
-        """Register a new stream on its ring-assigned shard; returns its id."""
+        """Register a new stream on its ring-assigned shard; returns its id.
+
+        *history* is an optional ``(timestamps, values)`` archive bulk-folded
+        into the fresh stream via :meth:`backfill` before the id is returned.
+        """
         if stream_id is None:
             stream_id, self._next_auto_id = allocate_auto_id(
                 "stream", self._next_auto_id, self._streams
@@ -325,6 +330,9 @@ class ShardedHub:
         config_state = None if config is None else config.to_dict()
         self._shards[owner].request("create", (stream_id, config_state, overrides))
         self._streams[stream_id] = owner
+        if history is not None:
+            timestamps, values = history
+            self.backfill(stream_id, timestamps, values)
         return stream_id
 
     def close(self, stream_id: str, flush: bool = True):
@@ -378,6 +386,29 @@ class ShardedHub:
             self._pending.setdefault(owner, []).append((stream_id, ts, vs))
             return []
         return self._request_for_stream(owner, stream_id, "ingest", (stream_id, timestamps, values))
+
+    def backfill(self, stream_id: str, timestamps, values):
+        """Replay an archive into one stream at batch speed; see
+        :meth:`StreamHub.backfill`.
+
+        Any coordinator-buffered batches for the stream are delivered first —
+        they arrived before the archive replay was requested, and a backfill
+        folding under queued points would reorder the stream.  Their inline
+        frames are stashed and surface at the next :meth:`tick`, exactly as
+        rebalancing flushes promise.
+        """
+        owner = self.shard_of(stream_id)
+        mine = [entry for entry in self._pending.get(owner, []) if entry[0] == stream_id]
+        if mine:
+            self._discard_pending(stream_id, owner)
+            inline, _ticked, live_ids = self._shards[owner].request("batch", (mine, False))
+            for sid, frames in inline.items():
+                self._stashed_frames.setdefault(sid, []).extend(frames)
+            self._reconcile(owner, live_ids)
+            owner = self.shard_of(stream_id)  # raises if evicted during the flush
+        return self._request_for_stream(
+            owner, stream_id, "backfill", (stream_id, timestamps, values)
+        )
 
     def _request_for_stream(self, owner: str, stream_id: str, command: str, payload):
         """Route one command; heal the placement map if the shard evicted it."""
@@ -494,6 +525,9 @@ class ShardedHub:
             nan_dropped=sum(s.nan_dropped for s in per_shard),
             late_accepted=sum(s.late_accepted for s in per_shard),
             late_dropped=sum(s.late_dropped for s in per_shard),
+            backfills=sum(s.backfills for s in per_shard),
+            backfill_points=sum(s.backfill_points for s in per_shard),
+            backfill_elided=sum(s.backfill_elided for s in per_shard),
         )
 
     def _fan_out(self, command: str, payload) -> list[tuple[str, object]]:

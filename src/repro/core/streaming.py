@@ -74,6 +74,7 @@ from .search import (
 from .smoothing import EvaluationCache, WindowEvaluation, sma
 
 __all__ = [
+    "BackfillResult",
     "Frame",
     "StreamingASAP",
     "RollingWindowState",
@@ -125,6 +126,36 @@ class Frame:
     refresh_index: int
     points_ingested: int
     quality: FrameQuality = FrameQuality()
+
+
+@dataclass(frozen=True)
+class BackfillResult:
+    """What one :meth:`StreamingASAP.backfill` call did.
+
+    ``points`` counts raw points folded into panes (after the quality
+    stages — dropped non-finite arrivals are excluded, synthetic gap fills
+    included); ``panes`` the panes completed; ``frames_elided`` the refresh
+    boundaries replayed without materializing a frame (their
+    ``refresh_index`` slots are preserved, so the next streamed frame
+    numbers exactly as if every interior frame had been emitted);
+    ``searches_run`` the window searches actually executed (1 for the fast
+    lane when a boundary lands in the archive, one per boundary for the
+    replay lane); ``mode`` which lane ran (``"fast"``, ``"replay"``, or
+    ``"stream"``); ``frames`` the frames that *were* emitted — any refresh
+    that was already due, plus the closing refresh of the archive.
+    """
+
+    points: int
+    panes: int
+    frames_elided: int
+    searches_run: int
+    mode: str
+    frames: tuple[Frame, ...] = ()
+
+    @property
+    def frame(self) -> Frame | None:
+        """The final frame of the backfill, if a refresh boundary was reached."""
+        return self.frames[-1] if self.frames else None
 
 
 class RollingWindowState:
@@ -462,6 +493,34 @@ class RollingWindowState:
         rolling.rebuilds = int(state["rebuilds"])
         return rolling
 
+    @classmethod
+    def from_bulk(
+        cls, values, capacity: int, lag_budget: int
+    ) -> "RollingWindowState":
+        """One-shot construction over a full history — O(n), no per-chunk sums.
+
+        Bit-identical to ``extend()``-ing *values* through a fresh instance
+        (under **any** chunking) and then calling :meth:`rebuild`: extension
+        stores each retained value as ``value - values[0]`` regardless of
+        batching, and a rebuild recomputes every sum from exactly those ring
+        contents, so the two paths converge on the same floats.  This is the
+        cold-start constructor for batch consumers; note that an instance
+        that streamed the same history *without* a closing rebuild holds
+        chunk-accumulated sums instead — which is why the streaming
+        operator's backfill replays chunk cadence rather than calling this.
+        """
+        state = cls(capacity=capacity, lag_budget=lag_budget)
+        block = np.asarray(values, dtype=np.float64)
+        if block.ndim != 1:
+            raise ValueError(f"expected a 1-D history, got shape {block.shape}")
+        if block.size == 0:
+            return state
+        state._anchor = float(block[0])
+        state._ring.append_many(block[-capacity:] - state._anchor)
+        state.appended = block.size
+        state.rebuild()
+        return state
+
     # -- derived statistics ---------------------------------------------------
 
     def correlations(self, max_lag: int) -> np.ndarray:
@@ -638,6 +697,18 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
     cadence / gap_policy:
         Gap detection parameters for ``normalize=True``; see
         :func:`repro.quality.normalize_series`.
+    backfill:
+        Lane selection for :meth:`backfill` (archive replay).  ``"auto"``
+        (the default) picks the vectorized fast lane — bulk pane folding,
+        chunk-cadence rolling replay, a single closing search — whenever
+        eliding the interior searches cannot change any frame (every
+        strategy except seeded ASAP, because ``CHECKLASTWINDOW``'s seed can
+        change the *selected* window), and otherwise the replay lane, which
+        runs every interior search but skips warm prefetch and frame
+        materialization.  ``"replay"`` forces the replay lane; ``"stream"``
+        forces plain batched streaming (the debug baseline).  Every lane
+        leaves the operator in a state whose subsequent frames are
+        bit-identical to having streamed the archive point by point.
     """
 
     def __init__(
@@ -659,6 +730,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         normalize: bool = False,
         cadence: float | None = None,
         gap_policy: str = "interpolate",
+        backfill: str = "auto",
     ) -> None:
         if refresh_interval < 1:
             raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
@@ -668,6 +740,11 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             raise SpecError(f"kernel must be 'grid', 'scalar', or 'numba', got {kernel!r}")
         if watermark < 0:
             raise ValueError(f"watermark must be >= 0, got {watermark}")
+        if backfill not in ("auto", "replay", "stream"):
+            raise SpecError(
+                f"backfill must be 'auto', 'replay', or 'stream', got {backfill!r}"
+            )
+        self.backfill_mode = backfill
         self.watermark = int(watermark)
         self.normalize = bool(normalize)
         self.cadence = None if cadence is None else float(cadence)
@@ -729,6 +806,9 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._refreshes_since_rebuild = 0
         self._full_recomputes = 0
         self._exact_fallbacks = 0
+        self._backfills = 0
+        self._backfill_points = 0
+        self._backfill_elided = 0
 
     @classmethod
     def from_spec(cls, spec) -> "StreamingASAP":
@@ -759,6 +839,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             normalize=spec.normalize,
             cadence=spec.cadence,
             gap_policy=spec.gap_policy,
+            backfill=getattr(spec, "backfill", "auto"),
         )
 
     @staticmethod
@@ -816,6 +897,24 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         the uncovered candidates.  Frames are unaffected — this counts lost
         speedup, not lost accuracy."""
         return self._warm_fallbacks
+
+    @property
+    def backfills(self) -> int:
+        """Archive replays performed via :meth:`backfill`."""
+        return self._backfills
+
+    @property
+    def backfill_points(self) -> int:
+        """Raw points ingested through the backfill lane (post-quality)."""
+        return self._backfill_points
+
+    @property
+    def backfill_elided(self) -> int:
+        """Interior refresh boundaries replayed without materializing a frame.
+
+        Each still occupies its ``refresh_index`` slot, so frame numbering
+        is unchanged — this counts saved work, not skipped state."""
+        return self._backfill_elided
 
     # -- data-quality counters (0 whenever the quality stage is off) -----------
 
@@ -954,8 +1053,23 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._fold(ts, vs, synth, frames, defer_boundary=defer_boundary)
         return frames
 
-    def _fold(self, ts, vs, synth, frames: list[Frame], defer_boundary: bool = False) -> None:
-        """The boundary loop: fold normalized points, refreshing on interval."""
+    def _fold(
+        self,
+        ts,
+        vs,
+        synth,
+        frames: list[Frame],
+        defer_boundary: bool = False,
+        elide_interior: bool = False,
+    ) -> None:
+        """The boundary loop: fold normalized points, refreshing on interval.
+
+        With ``elide_interior=True`` (the backfill replay lane), refresh
+        boundaries that another boundary will follow *within this batch* run
+        the full search but skip warm prefetch and frame materialization —
+        both frame-neutral — so only the batch's closing boundary pays for a
+        rendered frame.
+        """
         i = 0
         n = vs.size
         while i < n:
@@ -975,6 +1089,8 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
                 self._panes_since_refresh = 0
                 if defer_boundary and i == n:
                     self._refresh_due = True
+                elif elide_interior and n - i >= self.refresh_interval * pane_size:
+                    self._refresh(materialize=False)
                 else:
                     frame = self._refresh()
                     if frame is not None:
@@ -991,6 +1107,177 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             return None
         self._refresh_due = False
         return self._refresh(cache=cache)
+
+    def backfill(self, timestamps, values) -> BackfillResult:
+        """Replay an archive through batch machinery, then stream seamlessly.
+
+        Ingests the whole history at batch-kernel speed: one batched pass
+        through the quality stages, bulk pane folding, chunk-cadence replay
+        of the rolling statistics, one bulk pyramid feed, and a single real
+        search at the archive's closing refresh boundary (the fast lane; see
+        the ``backfill`` constructor knob for lane selection).  Interior
+        refresh boundaries are *elided* — no frame is rendered for them —
+        but every piece of carried state (pane window, rolling sums and
+        their conditioning-rebuild schedule, pyramid levels, refresh ledger,
+        quality counters) advances exactly as if the archive had been
+        streamed point by point, so **every subsequently streamed frame is
+        bit-identical** to the stream-everything run.  Equivalently: a
+        backfill emits exactly the frames ``push_many(archive)`` would have
+        emitted at the final boundary, and elides the rest.
+
+        Pair with :func:`repro.persist.checkpoint` for fast provisioning:
+        ``backfill → checkpoint`` writes a state whose restore streams on
+        bit-identically.
+        """
+        frames: list[Frame] = []
+        refreshes_before = self._refresh_count
+        searches_before = self._searches_run
+        points_before = self._buffer.total_points
+        panes_before = self._buffer.panes_completed
+        self._run_due_refresh(frames)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        vs = np.asarray(values, dtype=np.float64)
+        if ts.ndim != 1 or vs.ndim != 1 or ts.size != vs.size:
+            raise ValueError(
+                f"backfill expects equal-length 1-D timestamps and values, "
+                f"got shapes {ts.shape} and {vs.shape}"
+            )
+        synth = None
+        if self._reorder is not None:
+            ts, vs = self._reorder.push_many(ts, vs)
+        if self._normalizer is not None:
+            ts, vs, synth = self._normalizer.process(ts, vs)
+        mode = self.backfill_mode
+        if mode == "auto":
+            # Eliding searches is frame-exact unless the search is seeded
+            # from the previous winner (CHECKLASTWINDOW can change the
+            # *selected* window, which then seeds the next boundary — a
+            # chain only a real per-boundary search reproduces) or every
+            # refresh is contractually a verification point.
+            fast = (
+                self.strategy != "asap" or not self.seed_from_previous
+            ) and not self.verify_incremental
+            mode = "fast" if fast else "replay"
+        if mode == "stream":
+            self._fold(ts, vs, synth, frames)
+        elif mode == "replay":
+            self._fold(ts, vs, synth, frames, elide_interior=True)
+        else:
+            self._backfill_fast(ts, vs, synth, frames)
+        self._backfills += 1
+        ingested = self._buffer.total_points - points_before
+        self._backfill_points += ingested
+        elided = (self._refresh_count - refreshes_before) - len(frames)
+        self._backfill_elided += elided
+        return BackfillResult(
+            points=ingested,
+            panes=self._buffer.panes_completed - panes_before,
+            frames_elided=elided,
+            searches_run=self._searches_run - searches_before,
+            mode=mode,
+            frames=tuple(frames),
+        )
+
+    def _backfill_fast(self, ts, vs, synth, frames: list[Frame]) -> None:
+        """The vectorized lane: bulk-fold panes, replay statistics cadence,
+        search once at the archive's closing boundary.
+
+        Bit-exactness argument, piece by piece: pane folding is
+        batch-granularity-independent (``PaneBuffer.extend`` pins this), so
+        one bulk extend reproduces the streamed window and journal.  The
+        rolling sums are *not* granularity-independent (they accumulate in
+        chunks between rebuilds), so the journal is drained once and
+        re-fed to the rolling state in exactly the chunks the streamed
+        refreshes would have drained, with the per-boundary conditioning
+        reads replayed in :meth:`_refresh`'s order between chunks.  The
+        pyramid *is* granularity-independent, so it takes one bulk feed.
+        The final chunk is requeued so the closing (real) refresh drains
+        precisely what its streamed counterpart would have.
+        """
+        n = vs.size
+        if n == 0:
+            return
+        pane_size = self._buffer.pane_size
+        interval = self.refresh_interval
+        capacity = self._buffer.capacity
+        p0 = self._panes_since_refresh
+        pend0 = self._buffer.pending_completed if self._buffer.journal else 0
+        completed_before = self._buffer.panes_completed
+        first_need = (
+            pane_size - self._buffer.open_pane_points + (interval - p0 - 1) * pane_size
+        )
+        if n < first_need:
+            # No boundary inside the archive: plain bulk fold, nothing due.
+            self._panes_since_refresh += self._buffer.extend(ts, vs, synthetic=synth)
+            return
+        boundaries = 1 + (n - first_need) // (interval * pane_size)
+        last_i = first_need + (boundaries - 1) * (interval * pane_size)
+        self._buffer.extend(
+            ts[:last_i],
+            vs[:last_i],
+            synthetic=None if synth is None else synth[:last_i],
+        )
+        if self._buffer.journal and boundaries > 1:
+            means, times = self._buffer.drain_completed()
+            chunk1 = pend0 + (interval - p0)
+            split = chunk1 + (boundaries - 2) * interval
+            if self.pyramid is not None and split > 0:
+                self.pyramid.extend(means[:split], times[:split])
+            start = 0
+            for b in range(boundaries - 1):
+                end = chunk1 if b == 0 else start + interval
+                if self._rolling is not None:
+                    self._rolling.extend(means[start:end])
+                total = completed_before + (interval - p0) + b * interval
+                self._replay_refresh_stats(min(total, capacity))
+                start = end
+            self._buffer.requeue_completed(means[split:], times[split:])
+        else:
+            # Either a single boundary (the journal, if any, stays intact
+            # for the closing refresh to drain) or no journal consumers;
+            # the refresh ledger still advances for elided boundaries.
+            for b in range(boundaries - 1):
+                total = completed_before + (interval - p0) + b * interval
+                self._replay_refresh_stats(min(total, capacity))
+        self._panes_since_refresh = 0
+        frame = self._refresh()
+        if frame is not None:
+            frames.append(frame)
+        if last_i < n:
+            self._panes_since_refresh += self._buffer.extend(
+                ts[last_i:],
+                vs[last_i:],
+                synthetic=None if synth is None else synth[last_i:],
+            )
+
+    def _replay_refresh_stats(self, window_len: int) -> None:
+        """Advance per-refresh bookkeeping for one elided fast-lane boundary.
+
+        Mirrors the exact *sequence* of rolling-state reads :meth:`_refresh`
+        performs — each read may trigger a conditioning rebuild, so matching
+        the final sums is not enough; the read order must match too — while
+        skipping the search and the frame.  The refresh ledger advances so
+        later frames' ``refresh_index`` is unchanged.
+        """
+        if window_len < MIN_PANES_FOR_SEARCH:
+            return
+        if self._rolling is not None:
+            use_incremental = self._rolling.offset_ratio() <= _EXACT_FALLBACK_RATIO
+            if not use_incremental:
+                self._exact_fallbacks += 1
+            else:
+                self._refreshes_since_rebuild += 1
+                if self._refreshes_since_rebuild >= self.recompute_every:
+                    self._refreshes_since_rebuild = 0
+                    self._rolling.rebuild()
+                    self._full_recomputes += 1
+                self._rolling.roughness()
+                self._rolling.kurtosis()
+                if self.strategy == "asap":
+                    max_lag = self._resolved_max_lag(window_len)
+                    if self._rolling.lag_budget >= max_lag:
+                        self._rolling.correlations(max_lag)
+        self._refresh_count += 1
 
     def flush(self):
         """Emit one final frame for any aggregates since the last refresh.
@@ -1077,6 +1364,10 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             "refreshes_since_rebuild": self._refreshes_since_rebuild,
             "full_recomputes": self._full_recomputes,
             "exact_fallbacks": self._exact_fallbacks,
+            "backfill": self.backfill_mode,
+            "backfills": self._backfills,
+            "backfill_points": self._backfill_points,
+            "backfill_elided": self._backfill_elided,
             "buffer": self._buffer.state_dict(),
             "rolling": None if self._rolling is None else self._rolling.state_dict(),
             "pyramid": None if self.pyramid is None else self.pyramid.state_dict(),
@@ -1103,6 +1394,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             normalize=bool(state["normalize"]),
             cadence=None if state["cadence"] is None else float(state["cadence"]),
             gap_policy=str(state["gap_policy"]),
+            backfill=str(state.get("backfill", "auto")),
         )
         operator._reorder = (
             None if state["reorder"] is None else ReorderBuffer.from_state(state["reorder"])
@@ -1137,6 +1429,9 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         operator._refreshes_since_rebuild = int(state["refreshes_since_rebuild"])
         operator._full_recomputes = int(state["full_recomputes"])
         operator._exact_fallbacks = int(state["exact_fallbacks"])
+        operator._backfills = int(state.get("backfills", 0))
+        operator._backfill_points = int(state.get("backfill_points", 0))
+        operator._backfill_elided = int(state.get("backfill_elided", 0))
         return operator
 
     # -- Algorithm 3 internals --------------------------------------------------
@@ -1202,7 +1497,13 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             )
         return analysis_from_correlations(correlations)
 
-    def _refresh(self, cache: EvaluationCache | None = None) -> Frame | None:
+    def _refresh(
+        self, cache: EvaluationCache | None = None, materialize: bool = True
+    ) -> Frame | None:
+        """Run one refresh; with ``materialize=False`` (backfill replay lane)
+        the search, statistics, and every piece of carried state advance
+        exactly as usual, but the warm prefetch and the rendered frame —
+        the two frame-neutral costs — are skipped and ``None`` returned."""
         self._sync_pane_state()
         values = self._buffer.aggregated_values()
         if values.size < MIN_PANES_FOR_SEARCH:
@@ -1252,7 +1553,7 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
             and self.strategy in ADAPTIVE_STRATEGIES
             and cache.backend in ("grid", "numba")
         )
-        if warm_eligible and self._warm_trace is not None:
+        if materialize and warm_eligible and self._warm_trace is not None:
             probes = plan_warm_probes(
                 self._warm_trace,
                 self._previous_window,
@@ -1306,6 +1607,9 @@ class StreamingASAP(StreamOperator[StreamPoint, Frame]):
         self._candidates_evaluated += search.candidates_evaluated
         self._previous_window = search.window
 
+        if not materialize:
+            self._refresh_count += 1
+            return None
         smoothed_values = sma(values, search.window)
         timestamps = self._buffer.aggregated_timestamps()[: smoothed_values.size]
         self._refresh_count += 1

@@ -51,7 +51,11 @@ __all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"
 #: ``gap_policy``, ``watermark``); operator state gains those fields plus the
 #: ``reorder``/``normalizer`` stage states; pane-buffer state gains
 #: ``track_quality``/``synth``/``open_synth``; frame state gains ``quality``.
-SCHEMA_VERSION = 4
+#: Version 5: specs gain the ``backfill`` lane knob; operator state gains
+#: ``backfill`` plus the ``backfills``/``backfill_points``/``backfill_elided``
+#: counters — required fields that version-4 readers would reject as unknown
+#: spec keys.
+SCHEMA_VERSION = 5
 
 #: Marker key replacing numpy arrays in the JSON manifest tree.
 _ARRAY_MARKER = "__npz__"

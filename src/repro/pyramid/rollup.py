@@ -306,6 +306,33 @@ class Pyramid:
         for level in self._levels.values():
             level.clear()
 
+    @classmethod
+    def build_from(
+        cls,
+        values,
+        timestamps=None,
+        capacity: int | None = None,
+        level_ratios=DEFAULT_LEVEL_RATIOS,
+    ) -> "Pyramid":
+        """Bulk-construct a pyramid over a full history in one pass.
+
+        Level maintenance is batch-granularity-independent (each level
+        carries its open bucket's raw tail and completes buckets with the
+        canonical :func:`~repro.core.preaggregation.bucket_means`
+        reduction), so one bulk :meth:`extend` yields levels bit-identical
+        to feeding the same history value by value — this constructor is
+        the backfill-lane spelling of that fact.  *capacity* defaults to
+        the history length (retain everything).
+        """
+        vs = np.asarray(values, dtype=np.float64)
+        if vs.ndim != 1:
+            raise ValueError(f"expected a 1-D history, got shape {vs.shape}")
+        if capacity is None:
+            capacity = max(vs.size, 1)
+        pyramid = cls(capacity=capacity, level_ratios=level_ratios)
+        pyramid.extend(vs, timestamps)
+        return pyramid
+
     # -- serialization ---------------------------------------------------------
 
     def state_dict(self) -> dict:

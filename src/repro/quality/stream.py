@@ -88,25 +88,50 @@ class ReorderBuffer:
             self._values.extend(vs[release - from_buffer :].tolist())
             self._last_released = float(out_ts[-1])
             return out_ts, out_vs
+        # Mixed batch: move each maximal nondecreasing run that lands after
+        # the buffer tail in one slice; only a genuinely late point (drop or
+        # buffer insert) is handled alone.  A run point is always >= the new
+        # tail its predecessor just became, so neither drops nor inserts can
+        # occur mid-run and the bulk release equals the per-point interleave
+        # (releases pop the front of a sorted buffer the run only appends to).
         out_ts: list[float] = []
         out_vs: list[float] = []
-        for t, v in zip(ts.tolist(), vs.tolist()):
+        ts_list = ts.tolist()
+        vs_list = vs.tolist()
+        run_breaks = (np.flatnonzero(np.diff(ts) < 0.0) + 1).tolist()
+        run_breaks.append(n)
+        b = 0
+        i = 0
+        while i < n:
+            t = ts_list[i]
             if t < self._last_released:
                 self.late_dropped += 1
+                i += 1
                 continue
             if self._times and t < self._times[-1]:
                 self.late_accepted += 1
                 at = bisect_right(self._times, t)
                 self._times.insert(at, t)
-                self._values.insert(at, v)
-            else:
-                self._times.append(t)
-                self._values.append(v)
-            if len(self._times) > self.watermark:
-                released = self._times.pop(0)
-                out_vs.append(self._values.pop(0))
-                out_ts.append(released)
-                self._last_released = released
+                self._values.insert(at, vs_list[i])
+                if len(self._times) > self.watermark:
+                    released = self._times.pop(0)
+                    out_vs.append(self._values.pop(0))
+                    out_ts.append(released)
+                    self._last_released = released
+                i += 1
+                continue
+            while run_breaks[b] <= i:
+                b += 1
+            j = run_breaks[b]
+            self._times.extend(ts_list[i:j])
+            self._values.extend(vs_list[i:j])
+            release = len(self._times) - self.watermark
+            if release > 0:
+                out_ts.extend(self._times[:release])
+                out_vs.extend(self._values[:release])
+                del self._times[:release], self._values[:release]
+                self._last_released = out_ts[-1]
+            i = j
         return (
             np.asarray(out_ts, dtype=np.float64),
             np.asarray(out_vs, dtype=np.float64),
@@ -192,11 +217,11 @@ class StreamNormalizer:
 
     def _observe_cadence(self, ts: np.ndarray) -> None:
         """Accumulate spacing samples until the cadence can be inferred."""
-        prev = self._last_t
-        for t in ts.tolist():
-            if prev is not None and t > prev:
-                self._diff_samples.append(t - prev)
-            prev = t
+        if self._last_t is None:
+            diffs = np.diff(ts)
+        else:
+            diffs = np.diff(ts, prepend=self._last_t)
+        self._diff_samples.extend(diffs[diffs > 0.0].tolist())
         if len(self._diff_samples) >= CADENCE_INFER_SAMPLES:
             self.cadence = float(np.median(self._diff_samples[:CADENCE_INFER_SAMPLES]))
 
@@ -238,21 +263,44 @@ class StreamNormalizer:
             self._last_t = float(ts[-1])
             self._last_v = float(vs[-1])
             return ts, vs, None
-        out_ts: list[float] = []
-        out_vs: list[float] = []
-        out_syn: list[bool] = []
-        for t, v in zip(ts.tolist(), vs.tolist()):
-            if self._last_t is not None and t - self._last_t > threshold:
-                self._fill_gap(t, v, out_ts, out_vs, out_syn)
-            out_ts.append(t)
-            out_vs.append(v)
-            out_syn.append(False)
-            self._last_t = t
-            self._last_v = v
+        # Gapped batch: locate every over-threshold spacing, then copy the
+        # clean spans between gaps wholesale; only the fills themselves (a
+        # handful of points per gap) are built scalar-wise in _fill_gap.
+        if self._last_t is None:
+            prev_ts = np.concatenate(([ts[0]], ts[:-1]))
+        else:
+            prev_ts = np.concatenate(([self._last_t], ts[:-1]))
+        gap_idx = np.flatnonzero(ts - prev_ts > threshold).tolist()
+        parts_ts: list[np.ndarray] = []
+        parts_vs: list[np.ndarray] = []
+        parts_syn: list[np.ndarray] = []
+        start = 0
+        for g in gap_idx:
+            if g > start:
+                parts_ts.append(ts[start:g])
+                parts_vs.append(vs[start:g])
+                parts_syn.append(np.zeros(g - start, dtype=bool))
+            if g > 0:
+                self._last_t = float(ts[g - 1])
+                self._last_v = float(vs[g - 1])
+            fill_ts: list[float] = []
+            fill_vs: list[float] = []
+            fill_syn: list[bool] = []
+            self._fill_gap(float(ts[g]), float(vs[g]), fill_ts, fill_vs, fill_syn)
+            if fill_ts:
+                parts_ts.append(np.asarray(fill_ts, dtype=np.float64))
+                parts_vs.append(np.asarray(fill_vs, dtype=np.float64))
+                parts_syn.append(np.asarray(fill_syn, dtype=bool))
+            start = g
+        parts_ts.append(ts[start:])
+        parts_vs.append(vs[start:])
+        parts_syn.append(np.zeros(ts.size - start, dtype=bool))
+        self._last_t = float(ts[-1])
+        self._last_v = float(vs[-1])
         return (
-            np.asarray(out_ts, dtype=np.float64),
-            np.asarray(out_vs, dtype=np.float64),
-            np.asarray(out_syn, dtype=bool),
+            np.concatenate(parts_ts),
+            np.concatenate(parts_vs),
+            np.concatenate(parts_syn),
         )
 
     def _fill_gap(self, t: float, v: float, out_ts, out_vs, out_syn) -> None:

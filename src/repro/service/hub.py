@@ -38,7 +38,7 @@ import numpy as np
 
 from ..core.batch import smooth
 from ..core.search import SearchResult
-from ..core.streaming import MIN_PANES_FOR_SEARCH, Frame, StreamingASAP
+from ..core.streaming import MIN_PANES_FOR_SEARCH, BackfillResult, Frame, StreamingASAP
 from ..engine.batch_engine import GRID_STRATEGY_STEPS, prefill_grid_caches
 from ..errors import HubAtCapacityError, HubError, UnknownStreamError
 from ..pyramid import ViewSpec
@@ -164,6 +164,11 @@ class HubStats:
     :mod:`repro.quality`): synthetic fill points, filtered non-finite
     arrivals, and late data reordered or dropped at the watermark.  All zero
     when no session enables the quality stage.
+
+    ``backfills``/``backfill_points``/``backfill_elided`` sum the archive
+    replay counters of the currently active sessions (see
+    :meth:`repro.core.streaming.StreamingASAP.backfill`): bulk-ingest calls,
+    points they carried, and interior frames the fast lane elided.
     """
 
     sessions_active: int
@@ -185,6 +190,9 @@ class HubStats:
     nan_dropped: int = 0
     late_accepted: int = 0
     late_dropped: int = 0
+    backfills: int = 0
+    backfill_points: int = 0
+    backfill_elided: int = 0
 
 
 @dataclass
@@ -296,12 +304,19 @@ class StreamHub:
         self,
         stream_id: str | None = None,
         config: StreamConfig | None = None,
+        history: tuple | None = None,
         **overrides,
     ) -> str:
         """Register a new streaming session and return its id.
 
         *overrides* patch individual :class:`StreamConfig` fields on top of
         *config* (or the hub default), e.g. ``create_stream(pane_size=4)``.
+
+        *history* is an optional ``(timestamps, values)`` archive folded into
+        the fresh session through the bulk backfill lane
+        (:meth:`StreamHub.backfill`) before the id is returned: the session
+        starts exactly where it would have been had the archive been streamed
+        point by point, without paying per-frame cost for the interior.
         """
         cfg = config or self.default_config
         if overrides:
@@ -318,7 +333,34 @@ class StreamHub:
                 last_active_tick=self._tick,
             )
             self._sessions_created += 1
+        if history is not None:
+            timestamps, values = history
+            self.backfill(stream_id, timestamps, values)
         return stream_id
+
+    def backfill(self, stream_id: str, timestamps, values) -> BackfillResult:
+        """Replay an archive into one stream at batch speed; see
+        :meth:`repro.core.streaming.StreamingASAP.backfill`.
+
+        Interior refresh boundaries are accounted but (when the session's
+        configuration is fast-lane eligible) not materialized; every frame
+        the session emits afterwards is bit-identical to having streamed the
+        archive point by point.  The closing frame, if any, is counted in
+        the hub's ``frames_emitted`` and returned on the result.
+        """
+        session = self._get(stream_id)
+        with session.lock:
+            if session.closed:
+                raise UnknownStreamError(stream_id)
+            result = session.operator.backfill(timestamps, values)
+            session.last_active_tick = self._tick
+            session.frames_emitted += len(result.frames)
+        # Counted after session.lock is released; see _resolution_snapshot
+        # for the lock-order rationale.
+        with self._lock:
+            self._points_ingested += result.points
+            self._frames_emitted += len(result.frames)
+        return result
 
     def _claim_stream_id(self, stream_id: str | None) -> str:
         """Allocate an auto id, or validate a caller-chosen one (under lock)."""
@@ -846,6 +888,15 @@ class StreamHub:
                 ),
                 late_dropped=sum(
                     s.operator.late_dropped for s in self._sessions.values()
+                ),
+                backfills=sum(
+                    s.operator.backfills for s in self._sessions.values()
+                ),
+                backfill_points=sum(
+                    s.operator.backfill_points for s in self._sessions.values()
+                ),
+                backfill_elided=sum(
+                    s.operator.backfill_elided for s in self._sessions.values()
                 ),
             )
 

@@ -138,6 +138,14 @@ class AsapSpec:
         evaluated by one stacked kernel call, so the replayed search runs on
         cache hits (bit-identical frames; see
         :class:`~repro.core.streaming.StreamingASAP`).
+    backfill:
+        Archive-replay lane for ``StreamingASAP.backfill`` and the hub
+        tiers' ``history=``/``backfill`` entry points: ``"auto"`` (pick the
+        vectorized fast lane whenever eliding interior searches is
+        frame-exact, otherwise replay every search without rendering),
+        ``"replay"`` (force per-boundary searches), or ``"stream"`` (plain
+        batched streaming, the debug baseline).  All lanes leave subsequent
+        streamed frames bit-identical to point-by-point ingestion.
 
     Serving knobs (read by the hub tiers):
 
@@ -190,6 +198,7 @@ class AsapSpec:
     cadence: float | None = None
     gap_policy: str = "interpolate"
     watermark: int = 0
+    backfill: str = "auto"
 
     #: Wire-schema version; the persist codec's, because specs travel inside
     #: its payloads (session configs, cluster create commands).
@@ -205,6 +214,7 @@ class AsapSpec:
         "recompute_every",
         "verify_incremental",
         "warm_start",
+        "backfill",
     )
     SERVING_FIELDS = ("keep_pane_sketches", "pyramid")
     QUALITY_FIELDS = ("normalize", "cadence", "gap_policy", "watermark")
@@ -254,6 +264,10 @@ class AsapSpec:
                 f"got {self.gap_policy!r}"
             )
         _require_int("watermark", self.watermark, minimum=0)
+        if self.backfill not in ("auto", "replay", "stream"):
+            raise SpecError(
+                f"backfill must be one of auto, replay, stream; got {self.backfill!r}"
+            )
         return self
 
     # -- serialization ----------------------------------------------------------

@@ -503,6 +503,31 @@ class PaneBuffer:
         """Journaled means only; see :meth:`drain_completed` (same drain)."""
         return self.drain_completed()[0]
 
+    @property
+    def pending_completed(self) -> int:
+        """Journaled completions not yet drained (0 with ``journal=False``)."""
+        return len(self._pending_means)
+
+    def requeue_completed(self, means, times) -> None:
+        """Put drained journal entries back at the head of the pending journal.
+
+        The streaming operator's backfill lane drains the whole journal to
+        replay interior refresh chunks itself, then requeues the closing
+        chunk so the final (real) refresh drains exactly the entries its
+        streamed counterpart would have.  Entries requeue in front of any
+        completions journaled since the drain, preserving replay order.
+        """
+        if not self.journal:
+            raise ValueError("PaneBuffer was constructed with journal=False")
+        means = np.asarray(means, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        if means.size != times.size:
+            raise ValueError(
+                f"means and times must have equal lengths, got {means.size} and {times.size}"
+            )
+        self._pending_means[:0] = means.tolist()
+        self._pending_times[:0] = times.tolist()
+
     # -- reset ---------------------------------------------------------------
 
     def reset(self) -> DiscardedState:

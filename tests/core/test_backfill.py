@@ -1,0 +1,184 @@
+"""Unit tests for the bulk backfill lane's building blocks.
+
+The equivalence law itself (backfill then stream == stream everything) is
+pinned property-style in ``test_backfill_property.py``; these tests cover the
+primitives and the edges — :meth:`RollingWindowState.from_bulk`,
+:meth:`Pyramid.build_from`, the pane journal's ``requeue_completed``, the
+``backfill`` spec knob, the mode ledger, and state-dict round trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import BackfillResult, RollingWindowState, StreamingASAP
+from repro.errors import SpecError
+from repro.pyramid import Pyramid
+from repro.spec import AsapSpec
+from repro.stream.panes import PaneBuffer
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(20170501)
+    ts = np.arange(3000, dtype=np.float64)
+    vs = np.sin(ts / 23) + 0.3 * rng.standard_normal(ts.size)
+    return ts, vs
+
+
+# -- RollingWindowState.from_bulk ---------------------------------------------
+
+
+@pytest.mark.parametrize("capacity", [8, 64, 500])
+@pytest.mark.parametrize("chunks", [1, 7, 64])
+def test_from_bulk_matches_extend_then_rebuild(series, capacity, chunks):
+    _ts, vs = series
+    bulk = RollingWindowState.from_bulk(vs, capacity=capacity, lag_budget=20)
+    streamed = RollingWindowState(capacity=capacity, lag_budget=20)
+    for block in np.array_split(vs, chunks):
+        streamed.extend(block)
+    streamed.rebuild()
+    assert bulk.values().tobytes() == streamed.values().tobytes()
+    assert bulk.roughness() == streamed.roughness()
+    assert bulk.kurtosis() == streamed.kurtosis()
+    lag = min(capacity - 1, 20)
+    assert bulk.correlations(lag).tobytes() == streamed.correlations(lag).tobytes()
+
+
+def test_from_bulk_empty_and_validation():
+    state = RollingWindowState.from_bulk([], capacity=16, lag_budget=4)
+    assert len(state) == 0
+    with pytest.raises(ValueError, match="1-D"):
+        RollingWindowState.from_bulk(np.zeros((2, 2)), capacity=16, lag_budget=4)
+
+
+# -- Pyramid.build_from -------------------------------------------------------
+
+
+def test_build_from_matches_incremental_extend(series):
+    ts, vs = series
+    incremental = Pyramid(capacity=vs.size)
+    incremental.extend(vs, ts)
+    bulk = Pyramid.build_from(vs, ts, capacity=vs.size)
+    from repro.pyramid import ViewSpec
+
+    for resolution in (16, 64, 200):
+        a = bulk.view(ViewSpec(resolution=resolution, include_partial=True))
+        b = incremental.view(ViewSpec(resolution=resolution, include_partial=True))
+        assert a.values.tobytes() == b.values.tobytes()
+        assert a.timestamps.tobytes() == b.timestamps.tobytes()
+
+
+def test_build_from_defaults_and_validation():
+    pyramid = Pyramid.build_from(np.arange(10.0))
+    assert pyramid.capacity == 10
+    with pytest.raises(ValueError):
+        Pyramid.build_from(np.zeros((3, 3)))
+
+
+# -- PaneBuffer.requeue_completed ---------------------------------------------
+
+
+def test_requeue_completed_round_trip(series):
+    ts, vs = series
+    buffer = PaneBuffer(pane_size=4, capacity=200, journal=True)
+    buffer.extend(ts, vs)
+    means, times = buffer.drain_completed()
+    buffer.requeue_completed(means[5:], times[5:])
+    again_means, again_times = buffer.drain_completed()
+    assert again_means.tobytes() == means[5:].tobytes()
+    assert again_times.tobytes() == times[5:].tobytes()
+
+
+def test_requeue_completed_rejects_misuse():
+    plain = PaneBuffer(pane_size=4, capacity=16, journal=False)
+    with pytest.raises(ValueError, match="journal=False"):
+        plain.requeue_completed([1.0], [1.0])
+    journaled = PaneBuffer(pane_size=4, capacity=16, journal=True)
+    with pytest.raises(ValueError):
+        journaled.requeue_completed([1.0, 2.0], [1.0])
+
+
+# -- the spec knob ------------------------------------------------------------
+
+
+def test_spec_backfill_knob_validates():
+    assert AsapSpec().backfill == "auto"
+    assert AsapSpec(backfill="replay").validate().backfill == "replay"
+    with pytest.raises(SpecError, match="backfill"):
+        AsapSpec(backfill="bulk").validate()
+    with pytest.raises(SpecError, match="backfill"):
+        StreamingASAP(pane_size=4, backfill="bulk")
+
+
+def test_spec_backfill_knob_reaches_operator(series):
+    ts, vs = series
+    operator = AsapSpec(
+        pane_size=4, refresh_interval=10, seed_from_previous=False, backfill="replay"
+    ).build_operator()
+    result = operator.backfill(ts, vs)
+    assert result.mode == "replay"
+
+
+# -- mode resolution and the ledger -------------------------------------------
+
+
+def test_auto_mode_picks_fast_lane_when_seed_free(series):
+    ts, vs = series
+    op = StreamingASAP(pane_size=4, refresh_interval=10, seed_from_previous=False)
+    result = op.backfill(ts, vs)
+    assert result.mode == "fast"
+    assert result.searches_run == 1  # one closing search; interior elided
+    assert result.frames_elided > 0
+    assert result.frame is result.frames[-1]
+
+
+def test_auto_mode_falls_back_to_replay_when_seeded(series):
+    ts, vs = series
+    op = StreamingASAP(pane_size=4, refresh_interval=10, seed_from_previous=True)
+    result = op.backfill(ts, vs)
+    assert result.mode == "replay"
+    assert result.searches_run > 1  # every boundary searched, frames elided
+    assert result.frames_elided > 0
+
+
+def test_empty_backfill_is_a_no_op():
+    op = StreamingASAP(pane_size=4, refresh_interval=10, seed_from_previous=False)
+    result = op.backfill([], [])
+    assert result == BackfillResult(
+        points=0, panes=0, frames_elided=0, searches_run=0, mode="fast"
+    )
+    assert result.frame is None
+    assert op.points_ingested == 0
+
+
+def test_backfill_validates_shapes():
+    op = StreamingASAP(pane_size=4)
+    with pytest.raises(ValueError):
+        op.backfill([1.0, 2.0], [1.0])
+
+
+# -- counters and durability --------------------------------------------------
+
+
+def test_backfill_counters_survive_state_round_trip(series):
+    ts, vs = series
+    op = StreamingASAP(pane_size=4, refresh_interval=10, seed_from_previous=False)
+    op.backfill(ts[:2000], vs[:2000])
+    assert op.backfills == 1
+    assert op.backfill_points == 2000
+    assert op.backfill_elided > 0
+
+    revived = StreamingASAP.from_state(op.state_dict())
+    assert revived.backfills == 1
+    assert revived.backfill_points == 2000
+    assert revived.backfill_elided == op.backfill_elided
+    assert revived.backfill_mode == op.backfill_mode
+
+    ours = list(revived.push_many(ts[2000:], vs[2000:]))
+    theirs = list(op.push_many(ts[2000:], vs[2000:]))
+    assert len(ours) == len(theirs)
+    for a, b in zip(ours, theirs):
+        assert a.window == b.window
+        assert a.series.values.tobytes() == b.series.values.tobytes()

@@ -162,3 +162,102 @@ class TestStreamNormalizer:
         normalizer.clear()
         assert normalizer.cadence == 2.0
         assert normalizer.gaps_filled == 0
+
+
+class TestVectorizedPathsMatchScalarReference:
+    """Pin the bulk-sliced stage paths to the per-point semantics.
+
+    Both stages now move maximal clean runs with array slicing and fall back
+    to scalar handling only at actual reorders/gaps; these fuzz rounds pin
+    the released points, the synthesized fills, every counter, and the
+    carried state bit-identically to a per-point reference walk.
+    """
+
+    @staticmethod
+    def _reference_reorder(buffer, ts, vs):
+        """Per-point ReorderBuffer semantics on copied state."""
+        from bisect import bisect_right
+
+        times = list(buffer._times)
+        values = list(buffer._values)
+        last_released = buffer._last_released
+        accepted = dropped = 0
+        out_ts, out_vs = [], []
+        for t, v in zip(ts.tolist(), vs.tolist()):
+            if t < last_released:
+                dropped += 1
+                continue
+            if times and t < times[-1]:
+                accepted += 1
+                at = bisect_right(times, t)
+                times.insert(at, t)
+                values.insert(at, v)
+            else:
+                times.append(t)
+                values.append(v)
+            if len(times) > buffer.watermark:
+                last_released = times.pop(0)
+                out_ts.append(last_released)
+                out_vs.append(values.pop(0))
+        return out_ts, out_vs, times, values, last_released, accepted, dropped
+
+    def test_reorder_fuzz_bit_identical(self):
+        rng = np.random.default_rng(42)
+        for _trial in range(60):
+            buffer = ReorderBuffer(int(rng.integers(1, 16)))
+            for batch_index in range(4):
+                n = int(rng.integers(0, 40))
+                ts = np.cumsum(rng.integers(0, 3, n)).astype(np.float64) + batch_index * 30
+                if n > 4 and rng.random() < 0.6:
+                    for _swap in range(int(rng.integers(1, 4))):
+                        i, j = rng.integers(0, n, 2)
+                        ts[i], ts[j] = ts[j], ts[i]
+                vs = rng.standard_normal(n)
+                expected = self._reference_reorder(buffer, ts, vs)
+                base_accepted, base_dropped = buffer.late_accepted, buffer.late_dropped
+                out_ts, out_vs = buffer.push_many(ts, vs)
+                exp_ts, exp_vs, times, values, last, accepted, dropped = expected
+                assert out_ts.tolist() == exp_ts
+                assert out_vs.tolist() == exp_vs
+                assert buffer._times == times
+                assert buffer._values == values
+                assert buffer._last_released == last
+                assert buffer.late_accepted == base_accepted + accepted
+                assert buffer.late_dropped == base_dropped + dropped
+
+    def test_normalizer_fuzz_matches_per_point_walk(self):
+        rng = np.random.default_rng(43)
+        for _trial in range(60):
+            policy = ("interpolate", "ffill", "split")[int(rng.integers(0, 3))]
+            normalizer = StreamNormalizer(cadence=1.0, gap_policy=policy)
+            reference = StreamNormalizer(cadence=1.0, gap_policy=policy)
+            for batch_index in range(4):
+                n = int(rng.integers(0, 40))
+                steps = rng.choice([1.0, 1.0, 1.0, 0.5, 4.0, 11.0], n)
+                ts = np.cumsum(steps) + batch_index * 500
+                vs = rng.standard_normal(n)
+                if n and rng.random() < 0.3:
+                    vs[rng.integers(0, n, max(1, n // 6))] = np.nan
+                out = normalizer.process(ts, vs)
+                # Per-point reference walk: one point per process() call can
+                # never take a bulk slice, so it pins the scalar semantics.
+                ref_ts, ref_vs, ref_syn = [], [], []
+                for t, v in zip(ts.tolist(), vs.tolist()):
+                    part = reference.process([t], [v])
+                    ref_ts.extend(part[0].tolist())
+                    ref_vs.extend(part[1].tolist())
+                    syn = part[2]
+                    ref_syn.extend(
+                        [False] * part[0].size if syn is None else syn.tolist()
+                    )
+                assert out[0].tolist() == ref_ts
+                assert out[1].tolist() == ref_vs
+                out_syn = (
+                    [False] * out[0].size if out[2] is None else out[2].tolist()
+                )
+                assert out_syn == ref_syn
+                assert normalizer.nan_dropped == reference.nan_dropped
+                assert normalizer.gaps_filled == reference.gaps_filled
+                assert normalizer.gaps_split == reference.gaps_split
+                assert normalizer._last_t == reference._last_t
+                assert normalizer._last_v == reference._last_v

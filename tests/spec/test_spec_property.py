@@ -40,6 +40,7 @@ _FIELD_STRATEGIES = {
     | st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
     "gap_policy": st.sampled_from(("interpolate", "ffill", "split", "reject")),
     "watermark": st.integers(min_value=0, max_value=10_000),
+    "backfill": st.sampled_from(("auto", "replay", "stream")),
 }
 
 # Every field must have a strategy, or the properties silently narrow.

@@ -51,6 +51,7 @@ def test_cli_benchmarks_cover_every_tier():
         "bench_cluster.py",
         "bench_kernels.py",
         "bench_messy.py",
+        "bench_backfill.py",
     }
     names = {path.name for path in CLI_BENCHMARKS}
     assert expected <= names, f"missing CLI benchmarks: {sorted(expected - names)}"
