@@ -36,6 +36,7 @@ SPEEDUP_KEYS = {
     "cluster": "speedup_vs_one_shard",
     "kernels": "speedup",
     "messy": "speedup",
+    "net": "pipelining_speedup",
 }
 
 EXTRA_NOTES = {
@@ -44,6 +45,7 @@ EXTRA_NOTES = {
     "pyramid": lambda p: f"{p.get('view_cache_hits', 0)} view-cache hits",
     "cluster": lambda p: f"{p.get('params', {}).get('shards', '?')} shards",
     "backfill": lambda p: f"seeded replay lane {p.get('replay_speedup', 0.0):.2f}x",
+    "net": lambda p: f"{p.get('remote_snapshots_per_second', 0.0):.0f} remote snapshots/s",
 }
 
 
@@ -77,9 +79,11 @@ def collect_reports(paths: list[str]) -> list[dict]:
     # smoke payload per Python version).  The newest file wins, so one stale
     # or smoke duplicate can't mask — or fail — the current full run.
     newest: dict[str, dict] = {}
+    deduped: set[str] = set()
     for payload in reports:
         name = payload["benchmark"]
         if name in newest:
+            deduped.add(name)
             older = min(newest[name], payload, key=lambda p: p["_mtime"])
             print(
                 f"note: duplicate reports for {name!r}; keeping newest, "
@@ -88,6 +92,10 @@ def collect_reports(paths: list[str]) -> list[dict]:
             )
         if name not in newest or payload["_mtime"] > newest[name]["_mtime"]:
             newest[name] = payload
+    # When dedup fired, the table must say which file the row came from —
+    # otherwise a stale-vs-current dispute can't be settled from the summary.
+    for name in deduped:
+        newest[name]["_deduped"] = True
     return list(newest.values())
 
 
@@ -112,6 +120,9 @@ def render_table(reports: list[dict]) -> str:
         ok = identity_block(payload).get("ok", False)
         speedup = headline_speedup(payload)
         note = EXTRA_NOTES.get(name, lambda p: "")(payload)
+        if payload.get("_deduped"):
+            chosen = f"kept {Path(payload['_source']).name}"
+            note = f"{note}; {chosen}" if note else chosen
         lines.append(
             "| {} | {} | {} | {} | {} |".format(
                 name,

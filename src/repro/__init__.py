@@ -10,12 +10,12 @@ preaggregation, and on-demand streaming refresh.
 One spec, one client.  Every tier is configured by a single validated,
 JSON-round-trippable object (:class:`~repro.spec.AsapSpec`) and served
 through a single façade (:func:`~repro.client.connect`), so the same program
-scales from one in-process series to a multi-process sharded cluster by
-changing one argument::
+scales from one in-process series to a multi-process sharded cluster to a
+networked server by changing one argument::
 
     import repro
 
-    client = repro.connect("local")        # or "hub", or "sharded"
+    client = repro.connect("local")        # or "hub", "sharded", "tcp://..."
     result = client.smooth(values, resolution=800)
     print(result.summary())
 
@@ -41,6 +41,9 @@ Packages:
   hashing, process shards, live rebalancing, crash recovery);
 * :mod:`repro.persist` — durable checkpoint/restore of serving state
   (bit-identical resumption, no pickle);
+* :mod:`repro.net` — the network serving tier (:func:`serve` /
+  :class:`AsapServer`, ``connect("tcp://host:port")``, server-push frame
+  subscriptions over a pickle-free schema-stamped wire protocol);
 * :mod:`repro.quality` — data-quality normalization (gap/NaN policies,
   watermarked reordering, per-window completeness);
 * :mod:`repro.timeseries` — series container, statistics, dataset
@@ -66,7 +69,8 @@ from .core import (
 from .client import Client, StreamHandle, connect
 from .cluster import ShardedHub
 from .engine import BatchEngine, BatchResult, smooth_many
-from .errors import DataQualityError, SpecError
+from .errors import DataQualityError, NetError, SpecError
+from .net import AsapServer, PushEvent, RemoteBackend, serve
 from .persist import checkpoint, restore
 from .pyramid import Pyramid, PyramidView, ViewSpec
 from .quality import FrameQuality, normalize_series
@@ -74,10 +78,11 @@ from .service import StreamConfig, StreamHub
 from .spec import AsapSpec
 from .timeseries import TimeSeries
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ASAP",
+    "AsapServer",
     "AsapSpec",
     "BackfillResult",
     "BatchEngine",
@@ -87,6 +92,9 @@ __all__ = [
     "DataQualityError",
     "Frame",
     "FrameQuality",
+    "NetError",
+    "PushEvent",
+    "RemoteBackend",
     "Pyramid",
     "PyramidView",
     "SearchResult",
@@ -104,6 +112,7 @@ __all__ = [
     "find_window",
     "normalize_series",
     "restore",
+    "serve",
     "smooth",
     "smooth_many",
     "__version__",

@@ -10,6 +10,7 @@ configuration spelling.  :func:`connect` replaces that with one argument::
     client = repro.connect("local")             # in-process
     client = repro.connect("hub")               # explicit serving tier
     client = repro.connect("sharded", shards=4, shard_backend="process")
+    client = repro.connect("tcp://10.0.0.5:7450")   # a repro.serve() server
 
     result = client.smooth(values, resolution=800)      # SmoothingResult
     batch = client.smooth_many(dashboard)               # BatchResult
@@ -20,8 +21,12 @@ configuration spelling.  :func:`connect` replaces that with one argument::
     client = repro.client.restore("state.npz")          # resume, bit-identical
 
 The same program scales from one in-process series to a multi-process
-sharded cluster by changing the *backend* argument; nothing else in the
-lifecycle changes.
+sharded cluster to a networked server by changing the *backend* argument;
+nothing else in the lifecycle changes.  A ``tcp://host:port`` backend
+additionally offers **server-push subscriptions**
+(:meth:`Client.subscribe` / :meth:`Client.pushes`): the server delivers
+each refresh boundary's frames — or a chosen-resolution view — without
+polling.
 
 **Uniform result envelope.**  Every backend returns the same types:
 ``smooth`` a :class:`~repro.core.result.SmoothingResult`, ``smooth_many`` a
@@ -42,13 +47,14 @@ from __future__ import annotations
 from . import persist
 from .cluster import ShardedHub
 from .engine.batch_engine import BatchEngine, BatchResult
-from .errors import SpecError
+from .errors import NetError, SpecError
 from .service import StreamHub
 from .spec import AsapSpec, resolve_spec
 
 __all__ = ["connect", "restore", "Client", "StreamHandle", "BACKENDS"]
 
-#: Serving tiers :func:`connect` can hand back, in escalation order.
+#: Serving tiers :func:`connect` can hand back, in escalation order; a
+#: ``tcp://host:port`` URL (the network tier, :mod:`repro.net`) also works.
 BACKENDS = ("local", "hub", "sharded")
 
 
@@ -78,7 +84,10 @@ def connect(
         engine behind the explicitly provisioned multi-tenant tier (the
         serving options below are meant to be set here); ``"sharded"`` — a
         :class:`~repro.cluster.ShardedHub` fanning streams across *shards*
-        workers.
+        workers; ``"tcp://host:port"`` — a remote :func:`repro.serve`
+        server (frames stay bit-identical; the serving budgets below are
+        the server's to set, and :meth:`Client.subscribe` becomes
+        available).
     spec:
         Session-default :class:`~repro.spec.AsapSpec`; extra keyword
         arguments that name spec fields (``resolution=400``, ``pane_size=4``)
@@ -93,8 +102,18 @@ def connect(
     workers / executor:
         Batch-engine fan-out for :meth:`Client.smooth_many`.
     """
+    if backend.startswith("tcp://"):
+        from .net.remote import RemoteBackend, parse_tcp_url
+
+        host, port = parse_tcp_url(backend)
+        resolved = resolve_spec(spec, **spec_overrides)
+        hub = RemoteBackend(host, port, spec=resolved)
+        return Client("tcp", resolved, hub, workers=workers, executor=executor)
     if backend not in BACKENDS:
-        raise SpecError(f"backend must be one of {', '.join(BACKENDS)}; got {backend!r}")
+        raise SpecError(
+            f"backend must be one of {', '.join(BACKENDS)} or a tcp://host:port "
+            f"URL; got {backend!r}"
+        )
     resolved = resolve_spec(spec, **spec_overrides)
     serving = dict(
         max_panes_per_session=max_panes_per_session,
@@ -264,6 +283,37 @@ class Client:
         pending = self._pending_frames.pop(stream_id, [])
         return pending + closed if flush else closed
 
+    # -- server push (tcp backend) ----------------------------------------------
+
+    def _push_surface(self, what: str):
+        method = getattr(self._hub, what, None)
+        if method is None:
+            raise NetError(
+                f"{what} requires a tcp:// backend (server-push subscriptions "
+                f"live on the network tier); this client is {self.backend!r}"
+            )
+        return method
+
+    def subscribe(
+        self, stream_id: str, resolution: int | None = None, include_partial: bool = False
+    ) -> int:
+        """Ask the server to push *stream_id*'s refresh boundaries; returns
+        the subscription id.  With *resolution*, pushes carry the freshly
+        served multi-resolution view instead of raw frames.  ``tcp://``
+        backends only — the in-process tiers return frames from
+        ``ingest``/``tick`` directly."""
+        return self._push_surface("subscribe")(
+            stream_id, resolution=resolution, include_partial=include_partial
+        )
+
+    def unsubscribe(self, subscription: int) -> bool:
+        return self._push_surface("unsubscribe")(subscription)
+
+    def pushes(self, timeout: float = 0.0) -> list:
+        """Drain server-push deliveries (:class:`repro.net.PushEvent`);
+        see :meth:`repro.net.RemoteBackend.pushes`."""
+        return self._push_surface("pushes")(timeout=timeout)
+
     def stream_ids(self) -> list[str]:
         return self._hub.stream_ids()
 
@@ -353,6 +403,13 @@ class StreamHandle:
 
     def snapshot(self, resolution: int | None = None, include_partial: bool = False):
         return self.client.snapshot(
+            self.stream_id, resolution=resolution, include_partial=include_partial
+        )
+
+    def subscribe(self, resolution: int | None = None, include_partial: bool = False) -> int:
+        """Server-push subscription to this stream (``tcp://`` backends);
+        see :meth:`Client.subscribe`."""
+        return self.client.subscribe(
             self.stream_id, resolution=resolution, include_partial=include_partial
         )
 

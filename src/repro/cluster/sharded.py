@@ -34,45 +34,18 @@ import dataclasses
 import numpy as np
 
 from .. import persist
-from ..core.search import SearchResult
-from ..core.streaming import Frame
-from ..quality import FrameQuality
+from ..net.wire import frame_from_state as _frame_from_state
+from ..net.wire import frame_state as _frame_state
 from ..persist.checkpoint import _read_state
 from ..persist.codec import CheckpointError
 from ..service import HubStats, StreamConfig, UnknownStreamError
 from ..service.hub import allocate_auto_id
-from ..timeseries.series import TimeSeries
 from .ring import HashRing
 from .shard import ClusterError, InProcessShard, ProcessShard, ShardDownError
 
 __all__ = ["ShardedHub"]
 
 _BACKENDS = {"inprocess": InProcessShard, "process": ProcessShard}
-
-
-def _frame_state(frame: Frame) -> dict:
-    """A :class:`Frame` as plain scalars/arrays (codec-serializable)."""
-    return {
-        "values": frame.series.values.copy(),
-        "timestamps": frame.series.timestamps.copy(),
-        "name": frame.series.name,
-        "window": frame.window,
-        "search": dataclasses.asdict(frame.search),
-        "refresh_index": frame.refresh_index,
-        "points_ingested": frame.points_ingested,
-        "quality": dataclasses.asdict(frame.quality),
-    }
-
-
-def _frame_from_state(state: dict) -> Frame:
-    return Frame(
-        series=TimeSeries(state["values"], state["timestamps"], name=str(state["name"])),
-        window=int(state["window"]),
-        search=SearchResult(**state["search"]),
-        refresh_index=int(state["refresh_index"]),
-        points_ingested=int(state["points_ingested"]),
-        quality=FrameQuality(**state["quality"]),
-    )
 
 
 class ShardedHub:
@@ -141,8 +114,36 @@ class ShardedHub:
         #: (A *killed* shard's counters die with it — there is nobody left
         #: to ask.)
         self._retired_stats: list[HubStats] = []
+        self._frame_observers: list = []
         for _ in range(shards):
             self.add_shard()
+
+    # -- refresh-boundary observers --------------------------------------------
+
+    def add_frame_observer(self, callback) -> None:
+        """Register *callback* on every frame the cluster delivers.
+
+        Mirrors :meth:`StreamHub.add_frame_observer`: the callback receives
+        ``{stream_id: [Frame, ...]}`` after inline ingests, successful
+        :meth:`tick` rounds, backfill closing frames, and flushing closes.
+        Frames riding a :class:`~repro.errors.ShardDownError`'s
+        ``partial_frames`` are *not* observed — they belong to the caller
+        handling the failure, and a retry after recovery must not deliver
+        them twice.
+        """
+        if callback not in self._frame_observers:
+            self._frame_observers.append(callback)
+
+    def remove_frame_observer(self, callback) -> None:
+        """Unregister a :meth:`add_frame_observer` callback (idempotent)."""
+        if callback in self._frame_observers:
+            self._frame_observers.remove(callback)
+
+    def _notify_frames(self, frames: dict[str, list]) -> None:
+        if not frames:
+            return
+        for callback in list(self._frame_observers):
+            callback(frames)
 
     # -- shard membership ------------------------------------------------------
 
@@ -360,6 +361,8 @@ class ShardedHub:
             self._streams.pop(stream_id, None)  # evicted shard-side; heal the map
             raise
         self._streams.pop(stream_id, None)
+        if flush and frames:
+            self._notify_frames({stream_id: frames})
         return frames
 
     def _discard_pending(self, stream_id: str, owner: str) -> None:
@@ -385,7 +388,12 @@ class ShardedHub:
             vs = np.asarray(values, dtype=np.float64)
             self._pending.setdefault(owner, []).append((stream_id, ts, vs))
             return []
-        return self._request_for_stream(owner, stream_id, "ingest", (stream_id, timestamps, values))
+        frames = self._request_for_stream(
+            owner, stream_id, "ingest", (stream_id, timestamps, values)
+        )
+        if frames:
+            self._notify_frames({stream_id: frames})
+        return frames
 
     def backfill(self, stream_id: str, timestamps, values):
         """Replay an archive into one stream at batch speed; see
@@ -406,9 +414,12 @@ class ShardedHub:
                 self._stashed_frames.setdefault(sid, []).extend(frames)
             self._reconcile(owner, live_ids)
             owner = self.shard_of(stream_id)  # raises if evicted during the flush
-        return self._request_for_stream(
+        result = self._request_for_stream(
             owner, stream_id, "backfill", (stream_id, timestamps, values)
         )
+        if result.frames:
+            self._notify_frames({stream_id: list(result.frames)})
+        return result
 
     def _request_for_stream(self, owner: str, stream_id: str, command: str, payload):
         """Route one command; heal the placement map if the shard evicted it."""
@@ -465,6 +476,7 @@ class ShardedHub:
             self._reconcile(shard_id, live_ids)
         if down:
             raise ShardDownError(down, partial_frames=frames)
+        self._notify_frames(frames)
         return frames
 
     # -- introspection ---------------------------------------------------------
@@ -640,6 +652,7 @@ class ShardedHub:
         hub._next_shard_id = int(state["next_shard_id"])
         hub._streams_migrated = int(state["streams_migrated"])
         hub._retired_stats = [HubStats(**retired) for retired in state["retired_stats"]]
+        hub._frame_observers = []
         for shard_id in state["shard_order"]:
             handle = _BACKENDS[hub.backend](shard_id, hub._hub_kwargs, state["shards"][shard_id])
             hub._ring.add_node(shard_id)

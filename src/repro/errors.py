@@ -21,6 +21,9 @@ Hierarchy::
       │     ├── ShardDownError
       │     ├── ShardProtocolError
       │     └── RemoteShardError
+      ├── NetError             — network serving tier failures
+      │     ├── WireProtocolError
+      │     └── ConnectionClosedError
       ├── CheckpointError      — persist-layer payload failures
       └── IncrementalDriftError — incremental statistics broke the 1e-9 law
 
@@ -41,6 +44,9 @@ __all__ = [
     "ShardDownError",
     "ShardProtocolError",
     "RemoteShardError",
+    "NetError",
+    "WireProtocolError",
+    "ConnectionClosedError",
     "CheckpointError",
     "IncrementalDriftError",
 ]
@@ -108,6 +114,24 @@ class RemoteShardError(ClusterError):
     Wraps non-hub exceptions (bugs, not API errors) with the worker-side
     traceback, which would otherwise be lost at the pipe boundary.
     """
+
+
+class NetError(RuntimeError):
+    """Base class for network-serving-tier failures (:mod:`repro.net`)."""
+
+
+class WireProtocolError(NetError):
+    """A wire message could not be framed or understood.
+
+    Raised for truncated, oversized, or garbage frames, for payloads that are
+    not valid codec envelopes, and for handshake schema mismatches (the
+    message mirrors the persist codec's schema error, naming both versions —
+    protocol and checkpoint versioning are the same monotone integer).
+    """
+
+
+class ConnectionClosedError(NetError):
+    """The peer went away mid-conversation (clean EOF or reset)."""
 
 
 class CheckpointError(RuntimeError):

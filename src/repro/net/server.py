@@ -1,0 +1,582 @@
+"""AsapServer: the full hub API served over TCP, with server-push frames.
+
+One asyncio server fronts one hub — a :class:`~repro.service.StreamHub` or a
+:class:`~repro.cluster.ShardedHub`; the server is tier-agnostic because both
+speak the same session API.  Every connection gets:
+
+* a **hello** on accept (schema version, the hub's checkpoint kind, library
+  version, message-size limit) — a client built against a different
+  checkpoint schema cannot even decode it, which *is* the version check;
+* **request/response** over the ops ``create`` / ``ingest`` / ``backfill`` /
+  ``tick`` / ``snapshot`` / ``close`` / ``stream_ids`` / ``len`` /
+  ``contains`` / ``stats`` / ``state`` / ``subscribe`` / ``unsubscribe`` /
+  ``server_stats`` / ``ping``.  Requests are processed in order per
+  connection, so a client may **pipeline** (write many, then read many);
+* **server-push subscriptions**: at every refresh boundary (inline ingest
+  emissions, coalesced ticks, backfill closing frames, close-flush frames —
+  the hubs' frame-observer hook) each matching subscription gets a push
+  message.  A plain subscription carries the frames themselves; a
+  ``resolution=`` subscription carries the freshly served
+  multi-resolution view instead, computed once per (stream, resolution)
+  per boundary and shared across subscribers.
+
+**Backpressure.**  Pushes are queued per connection in a bounded outbox
+(``subscribe_queue`` messages) drained by a writer task; a slow reader
+drops the *oldest* queued push and the drop is counted — visible as a
+``seq`` gap plus the running ``push_dropped`` counter on every later push.
+Responses are never queued behind pushes and are never dropped.
+
+**Hub calls run on the event loop thread.**  That serializes all remote
+operations, which is exactly the concurrency contract ``ShardedHub``
+requires (it is coordinator-single-threaded by design); ``StreamHub`` is
+internally locked either way.  External ingest threads (a hub shared
+between in-process producers and this server) are safe: the observer hops
+frames onto the loop with ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import contextlib
+import threading
+from dataclasses import dataclass
+
+from ..errors import (
+    ConnectionClosedError,
+    HubAtCapacityError,
+    NetError,
+    WireProtocolError,
+)
+from ..persist import codec
+from ..spec import AsapSpec
+from . import wire
+
+__all__ = ["AsapServer", "ServerHandle", "serve"]
+
+#: How long a graceful stop waits for each connection's queued pushes to
+#: drain before force-closing the socket.
+DRAIN_TIMEOUT = 5.0
+
+
+class _Subscription:
+    __slots__ = ("sub_id", "stream_id", "resolution", "include_partial", "seq")
+
+    def __init__(self, sub_id, stream_id, resolution, include_partial):
+        self.sub_id = sub_id
+        self.stream_id = stream_id
+        self.resolution = resolution
+        self.include_partial = include_partial
+        self.seq = 0
+
+
+class _Connection:
+    __slots__ = ("writer", "outbox", "wakeup", "subs", "push_dropped", "closing", "writer_task")
+
+    def __init__(self, writer):
+        self.writer = writer
+        self.outbox: collections.deque[bytes] = collections.deque()
+        self.wakeup = asyncio.Event()
+        self.subs: dict[int, _Subscription] = {}
+        self.push_dropped = 0
+        self.closing = False
+        self.writer_task: asyncio.Task | None = None
+
+    def reserve_push_slot(self, limit: int) -> int:
+        """Make room for one push (drop-oldest); returns how many dropped.
+
+        Called *before* the push is encoded, so the message's
+        ``push_dropped`` field covers every drop that precedes it — the
+        receiver's counter is exact at each delivery.
+        """
+        dropped = 0
+        while len(self.outbox) >= limit:
+            self.outbox.popleft()
+            self.push_dropped += 1
+            dropped += 1
+        return dropped
+
+    def enqueue_push(self, message: bytes) -> None:
+        self.outbox.append(message)
+        self.wakeup.set()
+
+
+class AsapServer:
+    """Serve one hub's API over TCP; see the module docstring.
+
+    ``max_connections`` and ``subscribe_queue`` default to the hub's
+    ``default_config`` spec (the serving knobs added in schema 6), so a
+    cluster provisioned through one :class:`~repro.spec.AsapSpec` carries
+    its serving limits into the network tier with no extra wiring.
+    """
+
+    def __init__(
+        self,
+        hub,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int | None = None,
+        subscribe_queue: int | None = None,
+        max_message_bytes: int = codec.MAX_MESSAGE_BYTES,
+    ) -> None:
+        spec = getattr(hub, "default_config", None) or AsapSpec()
+        self.hub = hub
+        self.max_connections = max_connections if max_connections is not None else spec.max_connections
+        self.subscribe_queue = subscribe_queue if subscribe_queue is not None else spec.subscribe_queue
+        if self.max_connections < 1:
+            raise NetError(f"max_connections must be >= 1, got {self.max_connections}")
+        if self.subscribe_queue < 1:
+            raise NetError(f"subscribe_queue must be >= 1, got {self.subscribe_queue}")
+        self.max_message_bytes = max_message_bytes
+        self._host = host
+        self._port = port
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._address: tuple[str, int] | None = None
+        self._closed = False
+        self._connections: set[_Connection] = set()
+        self._next_sub_id = 1
+        self._connections_served = 0
+        self._connections_rejected = 0
+        self._requests_served = 0
+        self._pushes_sent = 0
+        self._push_dropped = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> "AsapServer":
+        if self._server is not None:
+            raise NetError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(self._handle, self._host, self._port)
+        self._address = self._server.sockets[0].getsockname()[:2]
+        self.hub.add_frame_observer(self._observe_frames)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise NetError("server not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    async def stop(self, flush: bool = True) -> None:
+        """Stop serving; with *flush*, run one final hub tick first so every
+        deferred refresh is emitted and pushed, then drain each outbox
+        (bounded by :data:`DRAIN_TIMEOUT`) before closing the sockets."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        if flush:
+            # A downed shard must not block shutdown; its frames are simply
+            # not emitted (the same contract as ShardedHub.tick itself).
+            with contextlib.suppress(Exception):
+                self.hub.tick()
+        self.hub.remove_frame_observer(self._observe_frames)
+        for conn in list(self._connections):
+            conn.closing = True
+            conn.wakeup.set()
+        for conn in list(self._connections):
+            if conn.writer_task is not None:
+                try:
+                    await asyncio.wait_for(conn.writer_task, timeout=DRAIN_TIMEOUT)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    conn.writer_task.cancel()
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._connections.clear()
+
+    # -- connection handling ----------------------------------------------------
+
+    def _hello_state(self) -> dict:
+        from .. import __version__
+
+        return {
+            "msg": "hello",
+            "schema": codec.SCHEMA_VERSION,
+            "hub_kind": getattr(self.hub, "checkpoint_kind", "unknown"),
+            "server": "repro-asap",
+            "version": __version__,
+            "max_message_bytes": self.max_message_bytes,
+        }
+
+    async def _handle(self, reader, writer) -> None:
+        if self._closed or len(self._connections) >= self.max_connections:
+            self._connections_rejected += 1
+            error = HubAtCapacityError(
+                f"server is at max_connections={self.max_connections}"
+            )
+            with contextlib.suppress(Exception):
+                writer.write(wire.encode_message({"msg": "error", "error": wire.error_state(error)}))
+                await writer.drain()
+                writer.close()
+            return
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self._connections_served += 1
+        conn.writer_task = asyncio.ensure_future(self._push_writer(conn))
+        try:
+            writer.write(wire.encode_message(self._hello_state(), limit=self.max_message_bytes))
+            await writer.drain()
+            while not self._closed:
+                message = await self._read_message(reader)
+                response = self._process(conn, message)
+                writer.write(wire.encode_message(response, limit=self.max_message_bytes))
+                await writer.drain()
+        except ConnectionClosedError:
+            pass  # the client hung up — every op it completed has applied
+        except WireProtocolError as exc:
+            # Garbage, truncation, oversize: name the problem, then hang up.
+            with contextlib.suppress(Exception):
+                writer.write(wire.encode_message({"msg": "error", "error": wire.error_state(exc)}))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._drop_connection(conn)
+
+    async def _read_message(self, reader) -> dict:
+        try:
+            header = await reader.readexactly(codec.WIRE_HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                raise ConnectionClosedError("peer closed the connection") from exc
+            raise WireProtocolError(
+                f"truncated wire header: connection closed after "
+                f"{len(exc.partial)} of {codec.WIRE_HEADER_SIZE} bytes"
+            ) from exc
+        length = codec.parse_header(header, limit=self.max_message_bytes)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise WireProtocolError(
+                f"truncated wire message: connection closed after "
+                f"{len(exc.partial)} of {length} payload bytes"
+            ) from exc
+        return wire.decode_payload(payload)
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        self._connections.discard(conn)
+        conn.subs.clear()
+        conn.closing = True
+        conn.wakeup.set()
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+
+    async def _push_writer(self, conn: _Connection) -> None:
+        try:
+            while True:
+                await conn.wakeup.wait()
+                conn.wakeup.clear()
+                while conn.outbox:
+                    data = conn.outbox.popleft()
+                    conn.writer.write(data)
+                    await conn.writer.drain()
+                    self._pushes_sent += 1
+                if conn.closing:
+                    return
+        except (ConnectionError, asyncio.CancelledError, RuntimeError):
+            return
+
+    # -- request dispatch -------------------------------------------------------
+
+    def _process(self, conn: _Connection, message: dict) -> dict:
+        if message.get("msg") != "request":
+            raise WireProtocolError(
+                f"expected a request, got message kind {message.get('msg')!r}"
+            )
+        request_id = message.get("id")
+        op = str(message.get("op"))
+        handler = self._OPS.get(op)
+        self._requests_served += 1
+        if handler is None:
+            error = WireProtocolError(f"unknown op {op!r}")
+            return {
+                "msg": "response",
+                "id": request_id,
+                "ok": False,
+                "error": wire.error_state(error),
+            }
+        try:
+            result = handler(self, conn, message.get("args") or {})
+            return {"msg": "response", "id": request_id, "ok": True, "result": result}
+        except Exception as exc:
+            return {
+                "msg": "response",
+                "id": request_id,
+                "ok": False,
+                "error": wire.error_state(exc),
+            }
+
+    def _op_create(self, conn, args) -> dict:
+        config = args.get("config")
+        if config is not None:
+            config = AsapSpec.from_dict(config)
+        history = args.get("history")
+        if history is not None:
+            history = (history["timestamps"], history["values"])
+        stream_id = self.hub.create_stream(
+            args.get("stream_id"),
+            config=config,
+            history=history,
+            **(args.get("overrides") or {}),
+        )
+        return {"stream_id": stream_id}
+
+    def _op_ingest(self, conn, args) -> dict:
+        frames = self.hub.ingest(args["stream_id"], args["timestamps"], args["values"])
+        return {"frames": wire.frames_state(frames)}
+
+    def _op_backfill(self, conn, args) -> dict:
+        result = self.hub.backfill(args["stream_id"], args["timestamps"], args["values"])
+        return wire.backfill_state(result)
+
+    def _op_tick(self, conn, args) -> dict:
+        emitted = self.hub.tick()
+        return {"frames": {sid: wire.frames_state(frames) for sid, frames in emitted.items()}}
+
+    def _op_snapshot(self, conn, args) -> dict:
+        resolution = args.get("resolution")
+        snap = self.hub.snapshot(
+            args["stream_id"],
+            resolution=None if resolution is None else int(resolution),
+            include_partial=bool(args.get("include_partial", False)),
+        )
+        return wire.snapshot_state(snap)
+
+    def _op_close(self, conn, args) -> dict:
+        frames = self.hub.close(args["stream_id"], flush=bool(args.get("flush", True)))
+        return {"frames": wire.frames_state(frames)}
+
+    def _op_stream_ids(self, conn, args) -> dict:
+        return {"stream_ids": list(self.hub.stream_ids())}
+
+    def _op_len(self, conn, args) -> dict:
+        return {"count": len(self.hub)}
+
+    def _op_contains(self, conn, args) -> dict:
+        return {"contains": args["stream_id"] in self.hub}
+
+    def _op_stats(self, conn, args) -> dict:
+        return wire.hub_stats_state(self.hub.stats)
+
+    def _op_state(self, conn, args) -> dict:
+        return {
+            "kind": getattr(self.hub, "checkpoint_kind", "unknown"),
+            "state": self.hub.state_dict(),
+        }
+
+    def _op_subscribe(self, conn, args) -> dict:
+        stream_id = str(args["stream_id"])
+        if stream_id not in self.hub:
+            from ..errors import UnknownStreamError
+
+            raise UnknownStreamError(stream_id)
+        resolution = args.get("resolution")
+        sub = _Subscription(
+            self._next_sub_id,
+            stream_id,
+            None if resolution is None else int(resolution),
+            bool(args.get("include_partial", False)),
+        )
+        self._next_sub_id += 1
+        conn.subs[sub.sub_id] = sub
+        return {"subscription": sub.sub_id}
+
+    def _op_unsubscribe(self, conn, args) -> dict:
+        removed = conn.subs.pop(int(args["subscription"]), None)
+        return {"removed": removed is not None}
+
+    def _op_server_stats(self, conn, args) -> dict:
+        return self.server_stats()
+
+    def _op_ping(self, conn, args) -> dict:
+        return {"pong": True}
+
+    _OPS = {
+        "create": _op_create,
+        "ingest": _op_ingest,
+        "backfill": _op_backfill,
+        "tick": _op_tick,
+        "snapshot": _op_snapshot,
+        "close": _op_close,
+        "stream_ids": _op_stream_ids,
+        "len": _op_len,
+        "contains": _op_contains,
+        "stats": _op_stats,
+        "state": _op_state,
+        "subscribe": _op_subscribe,
+        "unsubscribe": _op_unsubscribe,
+        "server_stats": _op_server_stats,
+        "ping": _op_ping,
+    }
+
+    # -- push delivery ----------------------------------------------------------
+
+    def _observe_frames(self, frames: dict) -> None:
+        """Hub frame-observer callback; may fire on any thread."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._dispatch_frames(frames)
+        else:
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                loop.call_soon_threadsafe(self._dispatch_frames, frames)
+
+    def _dispatch_frames(self, frames: dict) -> None:
+        if not self._connections:
+            return
+        # Views are computed once per (stream, resolution, partial) per
+        # refresh boundary and shared across every subscriber — the same
+        # bytes a snapshot() call would serve right now.
+        view_cache: dict[tuple, dict | None] = {}
+        frame_cache: dict[str, list] = {}
+        for conn in list(self._connections):
+            if conn.closing:
+                continue
+            for sub in list(conn.subs.values()):
+                if sub.stream_id not in frames:
+                    continue
+                if sub.resolution is None:
+                    payload = frame_cache.get(sub.stream_id)
+                    if payload is None:
+                        payload = wire.frames_state(frames[sub.stream_id])
+                        frame_cache[sub.stream_id] = payload
+                    body = {"type": "frames", "frames": payload}
+                else:
+                    key = (sub.stream_id, sub.resolution, sub.include_partial)
+                    if key not in view_cache:
+                        try:
+                            view_cache[key] = wire.snapshot_state(
+                                self.hub.snapshot(
+                                    sub.stream_id,
+                                    resolution=sub.resolution,
+                                    include_partial=sub.include_partial,
+                                )
+                            )
+                        except Exception:
+                            # Not servable at this width yet (or the stream
+                            # just closed): skip this boundary, not the sub.
+                            view_cache[key] = None
+                    if view_cache[key] is None:
+                        continue
+                    body = {"type": "view", "view": view_cache[key]}
+                sub.seq += 1
+                self._push_dropped += conn.reserve_push_slot(self.subscribe_queue)
+                message = wire.encode_message(
+                    {
+                        "msg": "push",
+                        "subscription": sub.sub_id,
+                        "stream_id": sub.stream_id,
+                        "seq": sub.seq,
+                        "push_dropped": conn.push_dropped,
+                        "payload": body,
+                    },
+                    limit=self.max_message_bytes,
+                )
+                conn.enqueue_push(message)
+
+    # -- accounting -------------------------------------------------------------
+
+    def server_stats(self) -> dict:
+        """Lifetime serving counters (plain dict, wire-friendly)."""
+        return {
+            "connections_open": len(self._connections),
+            "connections_served": self._connections_served,
+            "connections_rejected": self._connections_rejected,
+            "requests_served": self._requests_served,
+            "subscriptions_active": sum(len(c.subs) for c in self._connections),
+            "pushes_sent": self._pushes_sent,
+            "push_dropped": self._push_dropped,
+        }
+
+    def __repr__(self) -> str:
+        where = self._address or (self._host, self._port)
+        return f"AsapServer({where[0]}:{where[1]}, connections={len(self._connections)})"
+
+
+@dataclass
+class ServerHandle:
+    """A running server on a background thread; see :func:`serve`."""
+
+    server: AsapServer
+    _loop: asyncio.AbstractEventLoop
+    _thread: threading.Thread
+    _stopped: bool = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self, flush: bool = True, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join its thread (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(flush=flush), self._loop)
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(hub, host: str = "127.0.0.1", port: int = 0, **kwargs) -> ServerHandle:
+    """Start an :class:`AsapServer` on a daemon thread; returns its handle.
+
+    ``port=0`` binds an ephemeral port; read the actual address off
+    ``handle.address`` / ``handle.url``.  The handle is a context manager
+    whose exit performs a graceful flush-and-stop.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = AsapServer(hub, host, port, **kwargs)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            box["error"] = exc
+            started.set()
+            loop.close()
+            return
+        box["loop"], box["server"] = loop, server
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="asap-server", daemon=True)
+    thread.start()
+    if not started.wait(30.0):
+        raise NetError("server did not start within 30s")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(box["server"], box["loop"], thread)

@@ -23,20 +23,41 @@ a payload written by a *newer* schema is rejected with
 :class:`CheckpointError` naming both versions (the policy is a single
 monotone integer — any field change that old readers would misinterpret bumps
 it; see the README's "Cluster & durability" section).
+
+**Wire framing.**  The network serving tier (:mod:`repro.net`) speaks this
+same envelope over sockets: every message is one ``dumps`` payload behind an
+8-byte header — the magic :data:`WIRE_MAGIC` plus a big-endian ``uint32``
+payload length (:func:`frame_message` / :func:`parse_header`).  Framing
+errors raise :class:`~repro.errors.WireProtocolError`; because the payload
+*is* a codec envelope, protocol versioning and checkpoint versioning are the
+same :data:`SCHEMA_VERSION`, enforced in one place (``loads``).
 """
 
 from __future__ import annotations
 
 import io
 import json
+import struct
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, WireProtocolError
 
-__all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"]
+__all__ = [
+    "CheckpointError",
+    "SCHEMA_VERSION",
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+    "WIRE_MAGIC",
+    "WIRE_HEADER_SIZE",
+    "MAX_MESSAGE_BYTES",
+    "frame_message",
+    "parse_header",
+]
 
 #: Bumped on any incompatible change to the manifest layout or any producer's
 #: ``state_dict()`` fields.  Readers reject payloads with a different version.
@@ -55,7 +76,11 @@ __all__ = ["CheckpointError", "SCHEMA_VERSION", "dumps", "loads", "dump", "load"
 #: ``backfill`` plus the ``backfills``/``backfill_points``/``backfill_elided``
 #: counters — required fields that version-4 readers would reject as unknown
 #: spec keys.
-SCHEMA_VERSION = 5
+#: Version 6: specs gain the network-serving knobs (``max_connections``,
+#: ``subscribe_queue``), which version-5 readers would reject as unknown
+#: fields; the same integer stamps every :mod:`repro.net` wire message, so a
+#: client and server disagreeing on any of the above fail the handshake.
+SCHEMA_VERSION = 6
 
 #: Marker key replacing numpy arrays in the JSON manifest tree.
 _ARRAY_MARKER = "__npz__"
@@ -126,6 +151,62 @@ def loads(data: bytes) -> tuple[str, dict]:
     except (zipfile.BadZipFile, ValueError, KeyError) as exc:
         raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
     return manifest["kind"], state
+
+
+#: First bytes of every wire message; garbage (an HTTP request, say, or a
+#: random port scan) is rejected on the first 4 bytes instead of being
+#: buffered until some bogus length prefix is satisfied.
+WIRE_MAGIC = b"ASNP"
+
+#: Magic (4 bytes) + big-endian uint32 payload length.
+WIRE_HEADER_SIZE = 8
+
+#: Default per-message payload ceiling (64 MiB).  Large enough for a
+#: checkpoint of a busy hub, small enough that a hostile or corrupt length
+#: prefix cannot make a peer allocate without bound.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_WIRE_HEADER = struct.Struct(">4sI")
+
+
+def frame_message(kind: str, state: dict, *, limit: int = MAX_MESSAGE_BYTES) -> bytes:
+    """One wire message: the 8-byte header plus a :func:`dumps` envelope.
+
+    Raises :class:`~repro.errors.WireProtocolError` when the encoded payload
+    exceeds *limit* — the sender's half of the bound :func:`parse_header`
+    enforces on receipt, so an oversized message fails loudly at its source
+    instead of poisoning the peer's connection.
+    """
+    payload = dumps(kind, state)
+    if len(payload) > limit:
+        raise WireProtocolError(
+            f"message payload is {len(payload)} bytes, over the "
+            f"{limit}-byte wire limit"
+        )
+    return _WIRE_HEADER.pack(WIRE_MAGIC, len(payload)) + payload
+
+
+def parse_header(header: bytes, *, limit: int = MAX_MESSAGE_BYTES) -> int:
+    """Validate one 8-byte wire header; returns the payload length to read.
+
+    Raises :class:`~repro.errors.WireProtocolError` on a short header, a bad
+    magic (the peer is not speaking this protocol), or a length over *limit*
+    (a corrupt or hostile prefix must never drive allocation).
+    """
+    if len(header) != WIRE_HEADER_SIZE:
+        raise WireProtocolError(
+            f"truncated wire header: got {len(header)} of {WIRE_HEADER_SIZE} bytes"
+        )
+    magic, length = _WIRE_HEADER.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise WireProtocolError(
+            f"bad wire magic {magic!r}; peer is not speaking the ASAP protocol"
+        )
+    if length > limit:
+        raise WireProtocolError(
+            f"declared payload of {length} bytes exceeds the {limit}-byte wire limit"
+        )
+    return int(length)
 
 
 def dump(kind: str, state: dict, path) -> Path:

@@ -269,6 +269,7 @@ class StreamHub:
         self.eviction_policy = eviction_policy
         self.idle_ticks_before_eviction = idle_ticks_before_eviction
         self._sessions: dict[str, _Session] = {}
+        self._frame_observers: list = []
         self._lock = threading.RLock()
         self._next_auto_id = 0
         self._tick = 0
@@ -297,6 +298,39 @@ class StreamHub:
                 f"raise the hub's max_panes_per_session or lower the stream's "
                 f"resolution to at most {self.max_panes_per_session}"
             )
+
+    # -- refresh-boundary observers --------------------------------------------
+
+    def add_frame_observer(self, callback) -> None:
+        """Register *callback* to see every frame this hub emits.
+
+        The callback receives ``{stream_id: [Frame, ...]}`` after each
+        emitting operation — inline ingest boundaries, coalesced
+        :meth:`tick` refreshes, a backfill's closing frames, and a flushing
+        :meth:`close` — outside all hub locks, on the thread that drove the
+        operation.  This is the network tier's push hook
+        (:class:`repro.net.AsapServer` subscriptions); observers must not
+        raise — an exception propagates to whichever caller triggered the
+        emission, after the hub state is already consistent.
+        """
+        with self._lock:
+            if callback not in self._frame_observers:
+                self._frame_observers.append(callback)
+
+    def remove_frame_observer(self, callback) -> None:
+        """Unregister a :meth:`add_frame_observer` callback (idempotent)."""
+        with self._lock:
+            if callback in self._frame_observers:
+                self._frame_observers.remove(callback)
+
+    def _notify_frames(self, frames: dict[str, list[Frame]]) -> None:
+        """Fan emitted frames out to observers (no locks held; see above)."""
+        if not frames:
+            return
+        with self._lock:
+            observers = list(self._frame_observers)
+        for callback in observers:
+            callback(frames)
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -360,6 +394,8 @@ class StreamHub:
         with self._lock:
             self._points_ingested += result.points
             self._frames_emitted += len(result.frames)
+        if result.frames:
+            self._notify_frames({stream_id: list(result.frames)})
         return result
 
     def _claim_stream_id(self, stream_id: str | None) -> str:
@@ -401,6 +437,8 @@ class StreamHub:
                 frames = list(session.operator.flush())
         with self._lock:
             self._frames_emitted += len(frames)
+        if frames:
+            self._notify_frames({stream_id: frames})
         return frames
 
     def _get(self, stream_id: str) -> _Session:
@@ -433,6 +471,8 @@ class StreamHub:
         with self._lock:
             self._points_ingested += int(vs.size)
             self._frames_emitted += len(frames)
+        if frames:
+            self._notify_frames({stream_id: frames})
         return frames
 
     def ingest_point(self, stream_id: str, timestamp: float, value: float) -> list[Frame]:
@@ -525,6 +565,7 @@ class StreamHub:
             self._grid_kernel_calls += kernel_calls
             self._sessions_evicted += evicted
             self._frames_emitted += sum(len(frames) for frames in emitted.values())
+        self._notify_frames(emitted)
         return emitted
 
     # -- introspection ---------------------------------------------------------

@@ -153,6 +153,15 @@ class AsapSpec:
         Retain per-pane raw-moment state the serving path never reads.
     pyramid:
         Attach a rollup pyramid so one session serves any pixel width.
+    max_connections:
+        Network serving tier (:mod:`repro.net`) only: concurrent client
+        connections one :class:`~repro.net.AsapServer` accepts; connection
+        attempts beyond it are refused with a wire-level error.
+    subscribe_queue:
+        Network serving tier only: per-connection push-outbox depth.  A
+        subscriber that stops reading has its *oldest* pending pushes dropped
+        (counted as ``push_dropped``) rather than stalling the server or
+        growing memory without bound.
 
     Quality knobs (read by :mod:`repro.quality` at every tier; all default
     *off*, making the quality stage a bit-identical no-op on clean input):
@@ -194,6 +203,8 @@ class AsapSpec:
     warm_start: bool = True
     keep_pane_sketches: bool = False
     pyramid: bool = True
+    max_connections: int = 64
+    subscribe_queue: int = 256
     normalize: bool = False
     cadence: float | None = None
     gap_policy: str = "interpolate"
@@ -216,7 +227,7 @@ class AsapSpec:
         "warm_start",
         "backfill",
     )
-    SERVING_FIELDS = ("keep_pane_sketches", "pyramid")
+    SERVING_FIELDS = ("keep_pane_sketches", "pyramid", "max_connections", "subscribe_queue")
     QUALITY_FIELDS = ("normalize", "cadence", "gap_policy", "watermark")
 
     def __post_init__(self) -> None:
@@ -246,6 +257,8 @@ class AsapSpec:
         _require_bool("warm_start", self.warm_start)
         _require_bool("keep_pane_sketches", self.keep_pane_sketches)
         _require_bool("pyramid", self.pyramid)
+        _require_int("max_connections", self.max_connections, minimum=1)
+        _require_int("subscribe_queue", self.subscribe_queue, minimum=1)
         _require_bool("normalize", self.normalize)
         if self.cadence is not None:
             if (

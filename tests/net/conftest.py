@@ -1,0 +1,60 @@
+"""Fixtures for the network-tier tests: a live localhost server per test.
+
+Every test in this directory runs under a **hard wall-clock watchdog**
+(``signal.alarm``): a hung socket read fails the test with a stack trace
+instead of hanging the suite — network tests must never be able to wedge
+CI.  The limit is generous (60s; the tests themselves finish in
+milliseconds) so it only ever fires on a genuine deadlock.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from netutil import SPEC
+from repro.net.remote import RemoteBackend
+from repro.net.server import serve
+from repro.service import StreamHub
+
+WATCHDOG_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Fail (don't hang) any net test that wedges on a socket."""
+
+    def _fired(signum, frame):
+        raise TimeoutError(
+            f"net test exceeded the {WATCHDOG_SECONDS}s watchdog — "
+            f"a socket read or server task is hung"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fired)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+
+@pytest.fixture
+def hub():
+    return StreamHub(default_config=SPEC)
+
+
+@pytest.fixture
+def server(hub):
+    handle = serve(hub)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def remote(server):
+    backend = RemoteBackend(*server.address, spec=SPEC)
+    yield backend
+    backend.shutdown()

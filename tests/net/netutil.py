@@ -1,0 +1,19 @@
+"""Shared helpers for the net test directory (imported by sys.path, not
+as a package — test directories here have no ``__init__.py``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spec import AsapSpec
+
+#: One spec for the whole directory: small panes and a coarse resolution so
+#: a few hundred points cross several refresh boundaries.
+SPEC = AsapSpec(pane_size=4, resolution=10, refresh_interval=5)
+
+
+def make_arrivals(n: int = 200, seed: int = 7, start: float = 0.0):
+    rng = np.random.default_rng(seed)
+    timestamps = np.arange(n, dtype=np.float64) + float(start)
+    values = rng.normal(size=n).cumsum()
+    return timestamps, values

@@ -1,0 +1,163 @@
+"""The hubs' refresh-boundary observer hook (what the server pushes from).
+
+Both tiers promise: observers see ``{stream_id: [Frame, ...]}`` exactly
+once per delivered frame — after inline ingest emissions, after a
+successful tick, after a backfill's closing frame, and after a flushing
+close — and are never called while hub locks are held (re-entrant hub
+calls from a callback must not deadlock).  Frames riding a
+``ShardDownError``'s ``partial_frames`` are NOT observed: they belong to
+the caller handling the failure, and a retry must not double-deliver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from netutil import SPEC, make_arrivals
+from repro.cluster import ShardedHub
+from repro.errors import ShardDownError
+from repro.service import StreamHub
+
+
+class Recorder:
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, frames):
+        self.batches.append({sid: list(lst) for sid, lst in frames.items()})
+
+    def all_frames(self, sid):
+        return [f for batch in self.batches for f in batch.get(sid, [])]
+
+
+@pytest.fixture(params=["hub", "sharded"])
+def tier(request):
+    if request.param == "hub":
+        hub = StreamHub(default_config=SPEC)
+    else:
+        hub = ShardedHub(shards=2, default_config=SPEC)
+    recorder = Recorder()
+    hub.add_frame_observer(recorder)
+    yield hub, recorder
+    shutdown = getattr(hub, "shutdown", None)
+    if shutdown:
+        shutdown()
+
+
+class TestObserverHook:
+    def test_inline_ingest_frames_observed(self, tier):
+        hub, recorder = tier
+        hub.create_stream("s")
+        ts, vs = make_arrivals(100)
+        inline = hub.ingest("s", ts, vs)
+        assert inline
+        observed = recorder.all_frames("s")
+        assert len(observed) == len(inline)
+        for a, b in zip(observed, inline):
+            assert a.series.values.tobytes() == b.series.values.tobytes()
+
+    def test_tick_frames_observed(self, tier):
+        hub, recorder = tier
+        hub.create_stream("s")
+        ts, vs = make_arrivals(40)
+        assert hub.ingest("s", ts, vs) == []
+        emitted = hub.tick()["s"]
+        observed = recorder.all_frames("s")
+        assert len(observed) == len(emitted) == 1
+        assert observed[0].series.values.tobytes() == emitted[0].series.values.tobytes()
+
+    def test_backfill_closing_frame_observed(self, tier):
+        hub, recorder = tier
+        hub.create_stream("s")
+        ts, vs = make_arrivals(200)
+        result = hub.backfill("s", ts, vs)
+        observed = recorder.all_frames("s")
+        assert len(observed) == len(result.frames)
+        for a, b in zip(observed, result.frames):
+            assert a.series.values.tobytes() == b.series.values.tobytes()
+
+    def test_close_flush_observed_and_unflushed_close_not(self, tier):
+        hub, recorder = tier
+        hub.create_stream("a")
+        hub.create_stream("b")
+        ts, vs = make_arrivals(30)
+        hub.ingest("a", ts, vs)
+        hub.ingest("b", ts, vs)
+        before = len(recorder.all_frames("a"))
+        closing = hub.close("a", flush=True)
+        assert len(recorder.all_frames("a")) == before + len(closing)
+        silent_before = len(recorder.all_frames("b"))
+        hub.close("b", flush=False)
+        assert len(recorder.all_frames("b")) == silent_before
+
+    def test_removed_observer_sees_nothing_more(self, tier):
+        hub, recorder = tier
+        hub.create_stream("s")
+        ts, vs = make_arrivals(100)
+        hub.ingest("s", ts, vs)
+        seen = len(recorder.all_frames("s"))
+        assert seen
+        hub.remove_frame_observer(recorder)
+        hub.remove_frame_observer(recorder)  # idempotent
+        hub.ingest("s", ts + 100, vs)
+        assert len(recorder.all_frames("s")) == seen
+
+    def test_observer_registration_is_idempotent(self, tier):
+        hub, recorder = tier
+        hub.add_frame_observer(recorder)  # second registration is a no-op
+        hub.create_stream("s")
+        ts, vs = make_arrivals(100)
+        inline = hub.ingest("s", ts, vs)
+        assert len(recorder.all_frames("s")) == len(inline)
+
+    def test_callback_may_reenter_the_hub(self, tier):
+        """Observers run outside hub locks: snapshotting from the callback
+        must not deadlock."""
+        hub, _ = tier
+        snapshots = []
+        hub.add_frame_observer(
+            lambda frames: snapshots.extend(hub.snapshot(sid) for sid in frames)
+        )
+        hub.create_stream("s")
+        ts, vs = make_arrivals(100)
+        inline = hub.ingest("s", ts, vs)
+        assert inline and len(snapshots) >= 1
+        assert all(s.stream_id == "s" for s in snapshots)
+
+
+class TestShardedSpecifics:
+    def test_buffered_ingest_notifies_at_tick_not_enqueue(self):
+        hub = ShardedHub(shards=2, default_config=SPEC)
+        recorder = Recorder()
+        hub.add_frame_observer(recorder)
+        hub.create_stream("s")
+        ts, vs = make_arrivals(100)
+        hub.ingest("s", ts, vs, buffered=True)
+        assert recorder.all_frames("s") == []  # nothing flushed yet
+        emitted = hub.tick().get("s", [])
+        observed = recorder.all_frames("s")
+        assert len(observed) == len(emitted)
+        hub.shutdown()
+
+    def test_partial_frames_on_shard_down_are_not_observed(self):
+        hub = ShardedHub(shards=2, default_config=SPEC)
+        recorder = Recorder()
+        hub.add_frame_observer(recorder)
+        # One stream per shard, both with a deferred refresh pending.
+        sids = [hub.create_stream() for _ in range(4)]
+        by_shard: dict[str, str] = {}
+        for sid in sids:
+            by_shard.setdefault(hub.shard_of(sid), sid)
+        assert len(by_shard) == 2, "need streams on both shards"
+        ts, vs = make_arrivals(40)
+        for sid in sids:
+            hub.ingest(sid, ts, vs)
+        observed_before = sum(len(b) for b in recorder.batches)
+        hub.kill_shard(hub.shard_ids[0])
+        with pytest.raises(ShardDownError) as excinfo:
+            hub.tick()
+        # The healthy shard's frames ride the exception for the caller...
+        assert excinfo.value.partial_frames
+        # ...and were NOT delivered to observers (no double delivery on retry).
+        assert sum(len(b) for b in recorder.batches) == observed_before
+        hub.shutdown()

@@ -1,0 +1,220 @@
+"""Wire-protocol unit tests: framing, envelope round trips, error mapping.
+
+The properties the serving tier depends on:
+
+* a message is ``ASNP`` + big-endian u32 length + one codec envelope, and
+  every malformed variant (short header, wrong magic, hostile length,
+  garbage payload, truncated NPZ) is rejected with a **named** error —
+  never a hang, never a pickle load;
+* the envelope round-trips every result object bit-exactly (frames carry
+  float64 arrays; ``tobytes()`` equality is the law here as everywhere);
+* exceptions cross the wire as their own types.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.core.search import SearchResult
+from repro.core.streaming import BackfillResult, Frame
+from repro.errors import (
+    HubAtCapacityError,
+    NetError,
+    UnknownStreamError,
+    WireProtocolError,
+)
+from repro.net import wire
+from repro.persist import codec
+from repro.quality import FrameQuality
+from repro.timeseries.series import TimeSeries
+
+
+def make_frame(n=8, seed=0, window=3, refresh_index=1):
+    rng = np.random.default_rng(seed)
+    return Frame(
+        series=TimeSeries(rng.normal(size=n), np.arange(n, dtype=float), name="s"),
+        window=window,
+        search=SearchResult(
+            window=window,
+            roughness=0.5,
+            kurtosis=3.0,
+            candidates_evaluated=4,
+            strategy="asap",
+            max_window=20,
+        ),
+        refresh_index=refresh_index,
+        points_ingested=n * 4,
+        quality=FrameQuality(),
+    )
+
+
+class TestFraming:
+    def test_message_round_trip(self):
+        payload = {"msg": "request", "id": 1, "op": "ping", "args": {}}
+        data = wire.encode_message(payload)
+        assert data[:4] == codec.WIRE_MAGIC
+        length = codec.parse_header(data[: codec.WIRE_HEADER_SIZE])
+        assert length == len(data) - codec.WIRE_HEADER_SIZE
+        assert wire.decode_payload(data[codec.WIRE_HEADER_SIZE :]) == payload
+
+    def test_truncated_header_named(self):
+        with pytest.raises(WireProtocolError, match="truncated wire header"):
+            codec.parse_header(b"ASN")
+
+    def test_bad_magic_named(self):
+        header = b"GET " + struct.pack(">I", 100)
+        with pytest.raises(WireProtocolError, match="bad wire magic"):
+            codec.parse_header(header)
+
+    def test_hostile_length_never_allocates(self):
+        header = codec.WIRE_MAGIC + struct.pack(">I", 2**32 - 1)
+        with pytest.raises(WireProtocolError, match="exceeds the"):
+            codec.parse_header(header)
+
+    def test_oversized_message_fails_at_sender(self):
+        big = {"msg": "push", "blob": np.ones(1024, dtype=np.float64)}
+        with pytest.raises(WireProtocolError, match="wire limit"):
+            wire.encode_message(big, limit=64)
+
+    def test_garbage_payload_named_not_pickled(self):
+        with pytest.raises(WireProtocolError, match="undecodable wire message"):
+            wire.decode_payload(b"\x80\x04cPickles are not welcome here.")
+
+    def test_truncated_payload_rejected(self):
+        data = wire.encode_message({"msg": "request", "id": 1, "op": "ping", "args": {}})
+        with pytest.raises(WireProtocolError):
+            wire.decode_payload(data[codec.WIRE_HEADER_SIZE : -7])
+
+    def test_checkpoint_payload_is_not_a_message(self):
+        payload = codec.dumps("streamhub", {"some": "state"})
+        with pytest.raises(WireProtocolError, match="not a wire message"):
+            wire.decode_payload(payload)
+
+    def test_schema_mismatch_mirrors_codec_error(self, monkeypatch):
+        data = wire.encode_message({"msg": "hello"})
+        monkeypatch.setattr(codec, "SCHEMA_VERSION", codec.SCHEMA_VERSION + 1)
+        with pytest.raises(WireProtocolError) as excinfo:
+            wire.decode_payload(data[codec.WIRE_HEADER_SIZE :])
+        # The codec's own schema diagnostic, naming both versions.
+        assert "schema version" in str(excinfo.value)
+        assert str(codec.SCHEMA_VERSION) in str(excinfo.value)
+        assert str(codec.SCHEMA_VERSION - 1) in str(excinfo.value)
+
+
+class TestResultSerializers:
+    def test_frame_bit_identical(self):
+        frame = make_frame()
+        back = wire.frame_from_state(wire.frame_state(frame))
+        assert back.series.values.tobytes() == frame.series.values.tobytes()
+        assert back.series.timestamps.tobytes() == frame.series.timestamps.tobytes()
+        assert back.search == frame.search
+        assert back.quality == frame.quality
+        assert (back.window, back.refresh_index, back.points_ingested) == (
+            frame.window,
+            frame.refresh_index,
+            frame.points_ingested,
+        )
+
+    def test_backfill_result_round_trip(self):
+        result = BackfillResult(
+            points=100,
+            panes=25,
+            frames_elided=3,
+            searches_run=2,
+            mode="fast",
+            frames=(make_frame(seed=1), make_frame(seed=2)),
+        )
+        back = wire.backfill_from_state(wire.backfill_state(result))
+        assert (back.points, back.panes, back.frames_elided) == (100, 25, 3)
+        assert (back.searches_run, back.mode) == (2, "fast")
+        assert len(back.frames) == 2
+        for a, b in zip(back.frames, result.frames):
+            assert a.series.values.tobytes() == b.series.values.tobytes()
+
+    def test_unknown_snapshot_flavour_rejected(self):
+        with pytest.raises(WireProtocolError, match="unknown snapshot flavour"):
+            wire.snapshot_from_state({"type": "martian"})
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            UnknownStreamError("stream-7"),
+            HubAtCapacityError("hub full"),
+            WireProtocolError("bad frame"),
+            errors.SpecError("resolution must be >= 1"),
+            ValueError("plain"),
+        ],
+    )
+    def test_named_errors_round_trip_as_their_type(self, exc):
+        back = wire.error_from_state(wire.error_state(exc))
+        assert type(back) is type(exc)
+
+    def test_shard_down_reconstructs_shard_ids(self):
+        exc = errors.ShardDownError(["shard-0", "shard-2"])
+        back = wire.error_from_state(wire.error_state(exc))
+        assert isinstance(back, errors.ShardDownError)
+        assert list(back.shard_ids) == ["shard-0", "shard-2"]
+
+    def test_unknown_type_degrades_to_neterror(self):
+        back = wire.error_from_state({"type": "ExoticError", "message": "boom"})
+        assert isinstance(back, NetError)
+        assert "ExoticError" in str(back) and "boom" in str(back)
+
+
+# -- hypothesis: the envelope encoder/decoder is the identity -------------------
+
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, width=64)
+    | st.text(max_size=20).filter(lambda s: s != "__npz__")
+)
+arrays = st.builds(
+    lambda seed, n: np.random.default_rng(seed).normal(size=n),
+    st.integers(0, 2**16),
+    st.integers(0, 16),
+)
+trees = st.recursive(
+    scalars | arrays,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(
+        st.text(max_size=10).filter(lambda s: s != "__npz__"), children, max_size=4
+    ),
+    max_leaves=12,
+)
+
+
+def assert_tree_equal(a, b):
+    if isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray) and a.tobytes() == b.tobytes()
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for key in a:
+            assert_tree_equal(a[key], b[key])
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_tree_equal(x, y)
+    else:
+        assert a == b
+
+
+@given(tree=trees)
+def test_envelope_round_trip_property(tree):
+    """Any JSON-plus-arrays message body survives the wire bit-exactly."""
+    message = {"msg": "request", "id": 1, "op": "x", "args": {"tree": tree}}
+    data = wire.encode_message(message)
+    length = codec.parse_header(data[: codec.WIRE_HEADER_SIZE])
+    payload = data[codec.WIRE_HEADER_SIZE :]
+    assert len(payload) == length
+    decoded = wire.decode_payload(payload)
+    assert_tree_equal(decoded["args"]["tree"], tree)

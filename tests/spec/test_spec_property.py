@@ -41,6 +41,8 @@ _FIELD_STRATEGIES = {
     "gap_policy": st.sampled_from(("interpolate", "ffill", "split", "reject")),
     "watermark": st.integers(min_value=0, max_value=10_000),
     "backfill": st.sampled_from(("auto", "replay", "stream")),
+    "max_connections": st.integers(min_value=1, max_value=10_000),
+    "subscribe_queue": st.integers(min_value=1, max_value=10_000),
 }
 
 # Every field must have a strategy, or the properties silently narrow.

@@ -52,6 +52,7 @@ def test_cli_benchmarks_cover_every_tier():
         "bench_kernels.py",
         "bench_messy.py",
         "bench_backfill.py",
+        "bench_net.py",
     }
     names = {path.name for path in CLI_BENCHMARKS}
     assert expected <= names, f"missing CLI benchmarks: {sorted(expected - names)}"

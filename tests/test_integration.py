@@ -131,7 +131,7 @@ class TestPublicAPI:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_docstring_example_runs(self):
         result = smooth([1.0, 2.0, 1.0, 2.0] * 50, resolution=100)
